@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper: it
+sweeps the paper's parameter, prints the same rows/series the paper
+reports (captured with ``pytest benchmarks/ --benchmark-only -s`` or in
+the benchmark's ``extra_info``), and asserts the qualitative shape —
+who wins, roughly by how much, where the crossover falls.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render one paper-style table to stdout."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def fmt(x, nd=1):
+    if isinstance(x, float):
+        return f"{x:.{nd}f}"
+    return str(x)

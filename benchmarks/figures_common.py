@@ -1,0 +1,63 @@
+"""Shared sweep machinery for the Figure 4-7 benchmarks."""
+
+from repro import Machine, MachineConfig
+from repro.workloads import (
+    GRAIN_SIZES,
+    SyncModelParams,
+    SyncModelWorkload,
+    WorkQueueParams,
+    WorkQueueWorkload,
+)
+
+__all__ = ["run_point", "sweep", "FIG45_SERIES"]
+
+#: Series of Figures 4 and 5: (label, workload model, lock scheme).
+FIG45_SERIES = (
+    ("WBI", "sync", "tts"),
+    ("CBL", "sync", "cbl"),
+    ("Q-WBI", "queue", "tts"),
+    ("Q-backoff", "queue", "tts_backoff"),
+    ("Q-CBL", "queue", "cbl"),
+)
+
+
+def run_point(
+    n: int,
+    model: str,
+    lock_scheme: str,
+    grain: str,
+    consistency: str = "sc",
+    tasks_per_node: int = 4,
+    seed: int = 1,
+):
+    """One (n, series) sample; returns completion time in cycles."""
+    protocol = "primitives" if lock_scheme == "cbl" else "wbi"
+    cfg = MachineConfig(n_nodes=n, seed=seed)
+    machine = Machine(cfg, protocol=protocol)
+    grain_size = GRAIN_SIZES[grain]
+    if model == "sync":
+        wl = SyncModelWorkload(
+            machine,
+            SyncModelParams(grain_size=grain_size, tasks_per_node=tasks_per_node),
+            lock_scheme=lock_scheme,
+            consistency=consistency,
+        )
+    elif model == "queue":
+        wl = WorkQueueWorkload(
+            machine,
+            WorkQueueParams(n_tasks=tasks_per_node * n, grain_size=grain_size),
+            lock_scheme=lock_scheme,
+            consistency=consistency,
+        )
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    res = wl.run()
+    return res.completion_time
+
+
+def sweep(ns, series, grain, **kw):
+    """completion[label][n] for every series over the node counts."""
+    out = {}
+    for label, model, scheme in series:
+        out[label] = {n: run_point(n, model, scheme, grain, **kw) for n in ns}
+    return out

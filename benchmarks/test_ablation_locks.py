@@ -1,0 +1,63 @@
+"""Ablation — lock scheme shoot-out (beyond the paper's WBI-vs-CBL pair).
+
+Adds the modern software baselines (ticket, MCS) the paper predates: MCS
+also spins locally and scales linearly, so the interesting question is how
+close a software queue lock gets to the hardware one.  CBL retains the
+constant-factor edge because its grant carries the protected data and its
+handoff is two network transits.
+"""
+
+import pytest
+
+from conftest import fmt, print_table
+from repro import Machine, MachineConfig
+from repro.workloads import make_lock
+
+SCHEMES = ("cbl", "mcs", "ticket", "tts", "tts_backoff", "ts")
+
+
+def parallel_lock(n, scheme, t_cs=50, seed=3):
+    protocol = "primitives" if scheme == "cbl" else "wbi"
+    cfg = MachineConfig(n_nodes=n, cache_blocks=256, cache_assoc=2, seed=seed)
+    m = Machine(cfg, protocol=protocol)
+    lock = make_lock(m, scheme)
+
+    def w(p):
+        yield from p.acquire(lock)
+        yield from p.compute(t_cs)
+        yield from p.release(lock)
+
+    for i in range(n):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    return m.sim.now, m.net.message_count
+
+
+@pytest.mark.parametrize("n", [16])
+def test_lock_shootout(benchmark, n):
+    res = benchmark.pedantic(
+        lambda: {s: parallel_lock(n, s) for s in SCHEMES}, rounds=1, iterations=1
+    )
+    rows = [[s, fmt(res[s][0], 0), res[s][1]] for s in SCHEMES]
+    print_table(f"Lock shoot-out, n={n} contenders", ["scheme", "time", "messages"], rows)
+    # Hardware queue lock wins outright.
+    for s in SCHEMES[1:]:
+        assert res["cbl"][0] <= res[s][0], s
+        assert res["cbl"][1] <= res[s][1], s
+    # The software queue lock (MCS) beats spinning in both time and traffic.
+    assert res["mcs"][0] < res["tts"][0]
+    assert res["mcs"][1] < res["tts"][1]
+    assert res["mcs"][1] < res["ts"][1]
+    benchmark.extra_info["results"] = {s: {"time": r[0], "msgs": r[1]} for s, r in res.items()}
+
+
+def test_mcs_scales_linearly(benchmark):
+    def sweep():
+        return {n: parallel_lock(n, "mcs")[1] for n in (4, 8, 16)}
+
+    msgs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("MCS message scaling", ["n", "messages"], [[n, m] for n, m in msgs.items()])
+    # Messages per contender stay bounded (queue lock: O(1) per handoff).
+    per4 = msgs[4] / 4
+    per16 = msgs[16] / 16
+    assert per16 < per4 * 2.5

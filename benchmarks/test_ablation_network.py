@@ -1,0 +1,65 @@
+"""Ablation — interconnect choice and switch buffering.
+
+The paper assumes an Omega network with infinite switch buffers.  This
+bench quantifies (a) why a bus is hopeless at scale, (b) how close Omega
+gets to an ideal crossbar, and (c) what finite switch buffers cost.
+"""
+
+import pytest
+
+from conftest import fmt, print_table
+from repro import Machine, MachineConfig
+from repro.workloads import SyncModelParams, SyncModelWorkload
+
+
+def run_net(network, n=16, buffer_capacity=None, seed=2):
+    cfg = MachineConfig(
+        n_nodes=n, seed=seed, network=network, buffer_capacity=buffer_capacity
+    )
+    m = Machine(cfg, protocol="primitives")
+    wl = SyncModelWorkload(
+        m, SyncModelParams(grain_size=50, tasks_per_node=4), lock_scheme="cbl"
+    )
+    res = wl.run()
+    return res.completion_time
+
+
+def test_network_comparison(benchmark):
+    nets = ("crossbar", "omega", "bus")
+    res = benchmark.pedantic(
+        lambda: {net: run_net(net) for net in nets}, rounds=1, iterations=1
+    )
+    print_table(
+        "Interconnect ablation (sync model, n=16, CBL)",
+        ["network", "completion (cycles)"],
+        [[net, fmt(res[net], 0)] for net in nets],
+    )
+    # Crossbar <= omega << bus.
+    assert res["crossbar"] <= res["omega"]
+    assert res["omega"] < res["bus"]
+    benchmark.extra_info["results"] = res
+
+
+def test_finite_switch_buffers(benchmark):
+    res = benchmark.pedantic(
+        lambda: {
+            "infinite": run_net("omega"),
+            "buffered-4": run_net("omega-buffered", buffer_capacity=4),
+            "buffered-1": run_net("omega-buffered", buffer_capacity=1),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Switch-buffer ablation (omega, n=16)",
+        ["buffers", "completion (cycles)"],
+        [[k, fmt(v, 0)] for k, v in res.items()],
+    )
+    # At this offered load finite buffers barely matter: the two network
+    # models must agree closely (the analytic model reserves wires in send
+    # order, the buffered one serves in arrival order, so small deviations
+    # in either direction are expected).  Heavy-hotspot backpressure is
+    # exercised separately in the network unit tests.
+    for k in ("buffered-1", "buffered-4"):
+        assert abs(res[k] - res["infinite"]) / res["infinite"] < 0.15, k
+    benchmark.extra_info["results"] = res

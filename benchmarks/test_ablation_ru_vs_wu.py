@@ -1,0 +1,101 @@
+"""Ablation — reader-initiated (READ-UPDATE) vs sender-initiated
+(write-update) coherence.
+
+Section 4.1: "if an update approach is used, the updates may be sent to
+readers who may no longer be interested in these values."  A phased
+workload makes that concrete: in each phase every processor consumes a
+*different* producer's region.  Under write-update, having read a region
+once subscribes you forever; under read-update the reader re-targets its
+subscription each phase (RESET-UPDATE + READ-UPDATE).
+"""
+
+import pytest
+
+from conftest import fmt, print_table
+from repro import HWBarrier, Machine, MachineConfig
+
+
+def phased_run(protocol, n=8, phases=4, writes_per_phase=4, seed=0):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=256, cache_assoc=2, seed=seed)
+    m = Machine(cfg, protocol=protocol)
+    region = [m.alloc_block() for _ in range(n)]
+    bar = HWBarrier(m, n=n)
+    amap = m.amap
+
+    def driver(p):
+        me = p.node_id
+        prev_src = None
+        for phase in range(phases):
+            src = (me + 1 + phase) % n  # a different producer every phase
+            addr_in = amap.word_addr(region[src], 0)
+            addr_out = amap.word_addr(region[me], 0)
+            if protocol == "primitives":
+                if prev_src is not None and prev_src != src:
+                    yield from p.reset_update(amap.word_addr(region[prev_src], 0))
+                yield from p.read_update(addr_in)
+            else:
+                yield from p.read(addr_in)  # registers forever
+            for k in range(writes_per_phase):
+                if protocol == "primitives":
+                    yield from p.write_global(addr_out, phase * 100 + k)
+                else:
+                    yield from p.write(addr_out, phase * 100 + k)
+            if protocol == "primitives":
+                yield from p.flush()
+            yield from p.read(addr_in)
+            yield from p.barrier(bar)
+            prev_src = src
+
+    for i in range(n):
+        m.spawn(driver(m.processor(i)), name=f"phased-{i}")
+    m.run()
+    met = m.metrics()
+    pushes = sum(
+        v
+        for k, v in met.msg_by_type.items()
+        if k in ("RU_UPDATE", "RU_UPDATE_FWD", "WU_UPDATE")
+    )
+    return met.completion_time, pushes, met.messages
+
+
+def test_ru_vs_wu_stale_subscribers(benchmark):
+    res = benchmark.pedantic(
+        lambda: {p: phased_run(p) for p in ("primitives", "writeupdate")},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p, fmt(res[p][0], 0), res[p][1], res[p][2]]
+        for p in ("primitives", "writeupdate")
+    ]
+    print_table(
+        "Reader- vs sender-initiated updates (phased workload, n=8)",
+        ["protocol", "completion", "update pushes", "total msgs"],
+        rows,
+    )
+    ru_pushes = res["primitives"][1]
+    wu_pushes = res["writeupdate"][1]
+    # Write-update accumulates stale subscribers: strictly more pushes.
+    assert wu_pushes > ru_pushes
+    benchmark.extra_info["results"] = {
+        p: {"time": r[0], "pushes": r[1], "msgs": r[2]} for p, r in res.items()
+    }
+
+
+def test_wu_push_growth_with_phases(benchmark):
+    """Stale-subscriber waste grows with the number of phases."""
+
+    def growth():
+        out = {}
+        for phases in (2, 6):
+            _t, pushes, _m = phased_run("writeupdate", phases=phases)
+            out[phases] = pushes / phases  # pushes per phase
+        return out
+
+    per_phase = benchmark.pedantic(growth, rounds=1, iterations=1)
+    print_table(
+        "WU pushes per phase (subscribers accumulate)",
+        ["phases", "pushes/phase"],
+        [[k, fmt(v)] for k, v in per_phase.items()],
+    )
+    assert per_phase[6] > per_phase[2]

@@ -1,0 +1,47 @@
+"""Figure 4 — completion time vs processors, medium-granularity parallelism.
+
+Five series, as in the paper: WBI and CBL under the sync workload model
+(comparable, the two bottom curves), and Q-WBI / Q-backoff / Q-CBL under
+the work-queue model, where the single queue lock concentrates contention:
+Q-WBI stops scaling beyond ~16 nodes, exponential backoff helps but does
+not scale, and Q-CBL keeps scaling.
+"""
+
+from conftest import fmt, print_table
+from figures_common import FIG45_SERIES, sweep
+
+NS = (2, 4, 8, 16, 32, 64)
+GRAIN = "medium"
+
+
+def test_fig4(benchmark):
+    data = benchmark.pedantic(
+        lambda: sweep(NS, FIG45_SERIES, GRAIN), rounds=1, iterations=1
+    )
+    rows = [[label] + [fmt(data[label][n], 0) for n in NS] for label, _m, _s in FIG45_SERIES]
+    print_table(
+        f"Figure 4: completion time (cycles), {GRAIN} grain",
+        ["series"] + [f"n={n}" for n in NS],
+        rows,
+    )
+    big = NS[-1]
+    # The paper's qualitative claims at medium granularity:
+    # 1. Work-queue WBI collapses at scale: far worse than Q-CBL (the gap
+    #    accelerates with n: ~5x at 32 nodes, ~10x at 64).
+    assert data["Q-WBI"][big] > 2.5 * data["Q-CBL"][big]
+    assert (
+        data["Q-WBI"][64] / data["Q-CBL"][64] > data["Q-WBI"][16] / data["Q-CBL"][16]
+    )
+    # 2. Backoff rescues much of the loss but still trails CBL.
+    assert data["Q-backoff"][big] < data["Q-WBI"][big]
+    assert data["Q-backoff"][big] > data["Q-CBL"][big]
+    # 3. Under the (low-contention) sync model the schemes are comparable:
+    #    within ~2x of each other, and both far below the queue-model curves.
+    assert data["WBI"][big] < 2 * data["CBL"][big] + 1
+    assert data["WBI"][big] < data["Q-WBI"][big]
+    # 4. The Q-WBI divergence sets in past ~8-16 nodes: its growth factor
+    #    from 16->32 exceeds Q-CBL's.
+    growth_wbi = data["Q-WBI"][32] / data["Q-WBI"][16]
+    growth_cbl = data["Q-CBL"][32] / data["Q-CBL"][16]
+    assert growth_wbi > growth_cbl
+    benchmark.extra_info["series"] = {k: v for k, v in data.items()}

@@ -1,0 +1,51 @@
+"""Figure 5 — completion time vs processors, coarse-granularity parallelism.
+
+Increasing task granularity dilutes synchronization: Q-WBI's scalability
+improves relative to Figure 4 but still degrades past ~32 nodes, while
+Q-CBL keeps scaling.
+"""
+
+from conftest import fmt, print_table
+from figures_common import FIG45_SERIES, sweep
+
+NS = (2, 4, 8, 16, 32)
+GRAIN = "coarse"
+
+
+def test_fig5(benchmark):
+    data = benchmark.pedantic(
+        lambda: sweep(NS, FIG45_SERIES, GRAIN), rounds=1, iterations=1
+    )
+    rows = [[label] + [fmt(data[label][n], 0) for n in NS] for label, _m, _s in FIG45_SERIES]
+    print_table(
+        f"Figure 5: completion time (cycles), {GRAIN} grain",
+        ["series"] + [f"n={n}" for n in NS],
+        rows,
+    )
+    big = NS[-1]
+    # Coarse grain: WBI's penalty shrinks but remains at scale.
+    assert data["Q-WBI"][big] > 1.2 * data["Q-CBL"][big]
+    assert data["Q-backoff"][big] <= data["Q-WBI"][big]
+    # Sync-model curves stay comparable.
+    assert data["WBI"][big] < 2 * data["CBL"][big] + 1
+    benchmark.extra_info["series"] = {k: v for k, v in data.items()}
+
+
+def test_fig5_vs_fig4_granularity_effect(benchmark):
+    """Coarser tasks reduce the Q-WBI : Q-CBL gap (the paper's point in
+    moving from Figure 4 to Figure 5)."""
+
+    def ratios():
+        out = {}
+        for grain in ("medium", "coarse"):
+            d = sweep((16,), (("Q-WBI", "queue", "tts"), ("Q-CBL", "queue", "cbl")), grain)
+            out[grain] = d["Q-WBI"][16] / d["Q-CBL"][16]
+        return out
+
+    r = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    print_table(
+        "Q-WBI/Q-CBL completion ratio at n=16",
+        ["grain", "ratio"],
+        [[g, fmt(r[g], 2)] for g in r],
+    )
+    assert r["coarse"] < r["medium"]

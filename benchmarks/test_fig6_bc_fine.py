@@ -1,0 +1,46 @@
+"""Figure 6 — buffered vs sequential consistency, fine granularity.
+
+BC-CBL vs SC-CBL on the work-queue model.  The paper finds BC improves
+completion time for most cases, "but the improvement is not very
+impressive": global writes occur only with probability
+sh x write_ratio ~= 0.0045 during task execution, so there is little write
+latency to hide at fine grain too (the queue accesses contribute more).
+"""
+
+from conftest import fmt, print_table
+from figures_common import run_point
+
+NS = (2, 4, 8, 16, 32)
+GRAIN = "fine"
+
+
+def test_fig6(benchmark):
+    def sweep_bc_sc():
+        return {
+            label: {n: run_point(n, "queue", "cbl", GRAIN, consistency=c) for n in NS}
+            for label, c in (("SC-CBL", "sc"), ("BC-CBL", "bc"))
+        }
+
+    data = benchmark.pedantic(sweep_bc_sc, rounds=1, iterations=1)
+    rows = [
+        [label] + [fmt(data[label][n], 0) for n in NS] for label in ("SC-CBL", "BC-CBL")
+    ]
+    rows.append(
+        ["improvement %"]
+        + [fmt(100 * (1 - data["BC-CBL"][n] / data["SC-CBL"][n]), 1) for n in NS]
+    )
+    print_table(
+        f"Figure 6: BC vs SC completion time, {GRAIN} grain",
+        ["series"] + [f"n={n}" for n in NS],
+        rows,
+    )
+    # BC never loses, wins somewhere, and the win stays modest (<40%).
+    wins = 0
+    for n in NS:
+        assert data["BC-CBL"][n] <= data["SC-CBL"][n] * 1.02, n
+        if data["BC-CBL"][n] < data["SC-CBL"][n]:
+            wins += 1
+    assert wins >= len(NS) // 2
+    worst_gain = max(1 - data["BC-CBL"][n] / data["SC-CBL"][n] for n in NS)
+    assert worst_gain < 0.4
+    benchmark.extra_info["series"] = data

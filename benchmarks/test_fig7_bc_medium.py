@@ -1,0 +1,39 @@
+"""Figure 7 — buffered vs sequential consistency, medium granularity.
+
+Same comparison as Figure 6 at medium grain: more task-execution
+references dilute the (already rare) global writes further, so the BC
+advantage stays modest.
+"""
+
+from conftest import fmt, print_table
+from figures_common import run_point
+
+NS = (2, 4, 8, 16, 32)
+GRAIN = "medium"
+
+
+def test_fig7(benchmark):
+    def sweep_bc_sc():
+        return {
+            label: {n: run_point(n, "queue", "cbl", GRAIN, consistency=c) for n in NS}
+            for label, c in (("SC-CBL", "sc"), ("BC-CBL", "bc"))
+        }
+
+    data = benchmark.pedantic(sweep_bc_sc, rounds=1, iterations=1)
+    rows = [
+        [label] + [fmt(data[label][n], 0) for n in NS] for label in ("SC-CBL", "BC-CBL")
+    ]
+    rows.append(
+        ["improvement %"]
+        + [fmt(100 * (1 - data["BC-CBL"][n] / data["SC-CBL"][n]), 1) for n in NS]
+    )
+    print_table(
+        f"Figure 7: BC vs SC completion time, {GRAIN} grain",
+        ["series"] + [f"n={n}" for n in NS],
+        rows,
+    )
+    for n in NS:
+        assert data["BC-CBL"][n] <= data["SC-CBL"][n] * 1.02, n
+    worst_gain = max(1 - data["BC-CBL"][n] / data["SC-CBL"][n] for n in NS)
+    assert worst_gain < 0.4  # "not very impressive", as the paper says
+    benchmark.extra_info["series"] = data

@@ -1,0 +1,87 @@
+"""Table 2 — cache-coherence cost of the linear equation solver.
+
+Regenerates the paper's table analytically (the printed closed forms) and
+validates the same ordering on the simulator: per-iteration read-update
+completion time beats both invalidation layouts, and the read side of the
+invalidation schemes dominates their traffic.
+"""
+
+import pytest
+
+from conftest import fmt, print_table
+from repro.analysis import TransactionCosts, table2
+from repro.workloads import run_linsolver
+
+B = 4
+COSTS = TransactionCosts()
+
+
+def _analytic_rows(n):
+    t = table2(n, B, COSTS)
+    rows = []
+    for op in ("initial_load", "write", "read"):
+        rows.append(
+            [op]
+            + [
+                f"{fmt(t[s][op].traffic)} / {fmt(t[s][op].latency)}"
+                for s in ("read-update", "inv-I", "inv-II")
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("n", [8, 16, 64])
+def test_table2_analytic(benchmark, n):
+    """The closed forms of Table 2 (traffic / critical-path latency)."""
+    result = benchmark.pedantic(lambda: table2(n, B, COSTS), rounds=1, iterations=1)
+    print_table(
+        f"Table 2 (analytic), n={n}, B={B}  [traffic / latency]",
+        ["operation", "read-update", "inv-I", "inv-II"],
+        _analytic_rows(n),
+    )
+    ru, i1, i2 = (result[s] for s in ("read-update", "inv-I", "inv-II"))
+    # Paper's qualitative claims:
+    assert ru["read"].traffic == 0  # reads are free after subscription
+    assert i2["read"].traffic > i1["read"].traffic  # inv-II reloads n blocks
+    assert ru["write"].latency < i1["write"].latency  # updates off the path
+    benchmark.extra_info["read_traffic"] = {
+        "read-update": ru["read"].traffic,
+        "inv-I": i1["read"].traffic,
+        "inv-II": i2["read"].traffic,
+    }
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_table2_simulated(benchmark, n):
+    """The same scenario executed on the full simulator."""
+
+    def run_all():
+        return {
+            s: run_linsolver(n, s, iterations=4, cache_blocks=256, cache_assoc=2)
+            for s in ("read-update", "inv-I", "inv-II")
+        }
+
+    res = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            s,
+            fmt(res[s].completion_time, 0),
+            fmt(res[s].extra["per_iteration"]["messages"]),
+            fmt(res[s].extra["per_iteration"]["flits"]),
+        ]
+        for s in ("read-update", "inv-I", "inv-II")
+    ]
+    print_table(
+        f"Table 2 (simulated), n={n}, B={B}",
+        ["scheme", "completion(cycles)", "msgs/iter", "flits/iter"],
+        rows,
+    )
+    # Shape: read-update completes fastest (reads hit locally); inv-II
+    # moves the most data (one element per block).
+    assert res["read-update"].completion_time < res["inv-I"].completion_time
+    assert res["read-update"].completion_time < res["inv-II"].completion_time
+    assert (
+        res["inv-II"].extra["per_iteration"]["flits"]
+        > res["inv-I"].extra["per_iteration"]["flits"]
+    )
+    benchmark.extra_info["completion"] = {s: res[s].completion_time for s in res}

@@ -1,0 +1,145 @@
+"""Table 3 — cost of synchronization scenarios, WBI vs CBL.
+
+Regenerates the paper's analytic table and validates the same shapes on
+the simulator: serial-lock message counts (CBL = 3 exactly), parallel-lock
+message complexity (CBL O(n) vs WBI O(n^2)), and barrier costs.
+"""
+
+import pytest
+
+from conftest import fmt, print_table
+from repro import CBLLock, HWBarrier, Machine, MachineConfig, SWBarrier, TTSLock
+from repro.analysis import TimeParams, table3
+from repro.network import MessageType
+
+T = TimeParams()
+
+
+@pytest.mark.parametrize("n", [8, 16, 64])
+def test_table3_analytic(benchmark, n):
+    result = benchmark.pedantic(lambda: table3(n, T), rounds=1, iterations=1)
+    rows = []
+    for scenario, d in result.items():
+        rows.append(
+            [
+                scenario,
+                f"{fmt(d['wbi'].messages, 0)} msgs / {fmt(d['wbi'].time, 0)}",
+                f"{fmt(d['cbl'].messages, 0)} msgs / {fmt(d['cbl'].time, 0)}",
+            ]
+        )
+    print_table(f"Table 3 (analytic), n={n}", ["scenario", "WBI", "CBL"], rows)
+    assert result["parallel_lock"]["cbl"].messages < result["parallel_lock"]["wbi"].messages
+    assert result["serial_lock"]["cbl"].messages == 3
+    assert result["barrier_request"]["cbl"].messages == 2
+    benchmark.extra_info["parallel_lock_msgs"] = {
+        s: result["parallel_lock"][s].messages for s in ("wbi", "cbl")
+    }
+
+
+def _machine(n, protocol):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=256, cache_assoc=2, seed=3)
+    return Machine(cfg, protocol=protocol)
+
+
+def _parallel_lock(n, scheme):
+    """n processors request the same lock simultaneously; hold t_cs=50."""
+    m = _machine(n, "primitives" if scheme == "cbl" else "wbi")
+    lock = CBLLock(m) if scheme == "cbl" else TTSLock(m)
+
+    def w(p):
+        yield from p.acquire(lock)
+        yield from p.compute(50)
+        yield from p.release(lock)
+
+    for i in range(n):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    return m.sim.now, m.net.message_count
+
+
+def _serial_lock(scheme):
+    m = _machine(4, "primitives" if scheme == "cbl" else "wbi")
+    lock = CBLLock(m) if scheme == "cbl" else TTSLock(m)
+    p = m.processor(0)
+
+    def w():
+        yield from p.acquire(lock)
+        yield from p.compute(50)
+        yield from p.release(lock)
+
+    m.spawn(w())
+    m.run()
+    return m.sim.now, m.net.message_count
+
+
+def _barrier(n, scheme):
+    m = _machine(n, "primitives" if scheme == "cbl" else "wbi")
+    bar = HWBarrier(m, n=n) if scheme == "cbl" else SWBarrier(m, n=n)
+
+    def w(p):
+        yield from bar.wait(p)
+
+    for i in range(n):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    return m.sim.now, m.net.message_count
+
+
+def test_table3_simulated_serial_lock(benchmark):
+    res = benchmark.pedantic(
+        lambda: {s: _serial_lock(s) for s in ("cbl", "wbi")}, rounds=1, iterations=1
+    )
+    rows = [[s, fmt(res[s][0], 0), res[s][1]] for s in ("wbi", "cbl")]
+    print_table("Table 3 (simulated): serial lock", ["scheme", "time", "messages"], rows)
+    # CBL: exactly REQ + GRANT + RELEASE.
+    assert res["cbl"][1] == 3
+    assert res["cbl"][1] < res["wbi"][1]
+    assert res["cbl"][0] < res["wbi"][0]
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_table3_simulated_parallel_lock(benchmark, n):
+    res = benchmark.pedantic(
+        lambda: {s: _parallel_lock(n, s) for s in ("cbl", "wbi")}, rounds=1, iterations=1
+    )
+    rows = [[s, fmt(res[s][0], 0), res[s][1]] for s in ("wbi", "cbl")]
+    print_table(
+        f"Table 3 (simulated): parallel lock, n={n}", ["scheme", "time", "messages"], rows
+    )
+    # CBL messages linear in n (~5n); WBI superlinear.
+    assert res["cbl"][1] <= 6 * n
+    assert res["wbi"][1] > res["cbl"][1] * 2
+    assert res["cbl"][0] < res["wbi"][0]
+
+
+def test_table3_simulated_parallel_lock_scaling(benchmark):
+    """The O(n) vs O(n^2) separation grows with n."""
+
+    def sweep():
+        return {n: {s: _parallel_lock(n, s) for s in ("cbl", "wbi")} for n in (4, 8, 16)}
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [n, res[n]["wbi"][1], res[n]["cbl"][1], fmt(res[n]["wbi"][1] / res[n]["cbl"][1])]
+        for n in res
+    ]
+    print_table(
+        "Parallel-lock message scaling", ["n", "WBI msgs", "CBL msgs", "ratio"], rows
+    )
+    ratios = [res[n]["wbi"][1] / res[n]["cbl"][1] for n in (4, 8, 16)]
+    assert ratios[2] > ratios[0]  # separation widens with n
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_table3_simulated_barrier(benchmark, n):
+    res = benchmark.pedantic(
+        lambda: {s: _barrier(n, s) for s in ("cbl", "wbi")}, rounds=1, iterations=1
+    )
+    rows = [[s, fmt(res[s][0], 0), res[s][1]] for s in ("wbi", "cbl")]
+    print_table(
+        f"Table 3 (simulated): barrier, n={n}", ["scheme", "time", "messages"], rows
+    )
+    # Hardware barrier: 2 messages per arrival + n releases = 3n total.
+    assert res["cbl"][1] == 3 * n
+    assert res["cbl"][1] < res["wbi"][1]
+    assert res["cbl"][0] < res["wbi"][0]

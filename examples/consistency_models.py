@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Memory consistency models compared on one critical-section workload.
+
+Each worker repeatedly acquires a lock, performs shared global writes, and
+releases.  The model decides who waits where:
+
+* SC  — every shared write stalls until globally performed;
+* WO  — writes buffer, but *every* sync operation is a full fence;
+* RC  — acquires are free; releases flush and wait for completion;
+* BC  — the paper's model: releases flush, but the releaser never waits
+        for the release itself to be globally performed.
+
+Run:  python examples/consistency_models.py
+"""
+
+from repro import CBLLock, Machine, MachineConfig
+
+
+def run(model: str, n: int = 8) -> float:
+    machine = Machine(MachineConfig(n_nodes=n, seed=7), protocol="primitives")
+    lock = CBLLock(machine)
+    data = [machine.alloc_word() for _ in range(6)]
+
+    def worker(proc):
+        for _ in range(4):
+            yield from proc.acquire(lock)
+            for addr in data:
+                yield from proc.shared_write(addr, proc.node_id)
+            yield from proc.release(lock)
+            yield from proc.compute(50)
+
+    for i in range(n):
+        machine.spawn(worker(machine.processor(i, consistency=model)))
+    machine.run()
+    return machine.sim.now
+
+
+def main() -> None:
+    print("critical sections with 6 shared writes each, 8 processors\n")
+    print(f"{'model':<6}{'completion (cycles)':>20}{'vs SC':>10}")
+    base = None
+    for model in ("sc", "wo", "rc", "bc"):
+        t = run(model)
+        if base is None:
+            base = t
+        print(f"{model:<6}{t:>20.0f}{(base / t - 1) * 100:>9.1f}%")
+    print(
+        "\nBC buffers the writes (no per-write stall), flushes once before\n"
+        "the release, and hands the lock off without waiting — each model\n"
+        "below SC removes one more wait from the critical path."
+    )
+
+
+if __name__ == "__main__":
+    main()

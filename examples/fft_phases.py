@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Selective reader-initiated coherence in a phased (FFT-style) computation.
+
+Section 4.2's motivating example: in each butterfly phase a processor
+consumes a *different* partner's region.  With RESET-UPDATE it subscribes
+only to the region it needs now; without it, subscriptions accumulate and
+every write pushes updates to processors that stopped caring phases ago.
+
+Run:  python examples/fft_phases.py
+"""
+
+from repro.workloads import run_fft
+
+
+def main() -> None:
+    n = 16
+    print(f"FFT-phased workload, n={n} processors, log2(n)={n.bit_length()-1} phases\n")
+    print(f"{'subscription policy':<28}{'completion':>12}{'update msgs':>12}")
+    results = {}
+    for selective, label in ((True, "selective (RESET-UPDATE)"), (False, "accumulate (never reset)")):
+        r = run_fft(n, selective=selective, cache_blocks=256, cache_assoc=2)
+        results[selective] = r
+        print(f"{label:<28}{r.completion_time:>12.0f}{r.extra['ru_updates']:>12}")
+    saved = 1 - results[True].extra["ru_updates"] / results[False].extra["ru_updates"]
+    print(
+        f"\nRESET-UPDATE eliminates {saved:.0%} of update propagation: the\n"
+        "receiver decides what stays coherent, phase by phase — the dual of\n"
+        "sender-initiated write-update, which pushes to every past reader."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""A bounded-buffer pipeline built on hardware semaphores.
+
+The paper classifies semaphore P as NP-Synch (an acquire need not wait for
+pending global writes) and V as CP-Synch (a release must flush first) —
+exactly what a producer/consumer pipeline needs: the producer's buffered
+global writes are guaranteed visible before the consumer is woken.
+
+Run:  python examples/semaphore_pipeline.py
+"""
+
+from repro import HWSemaphore, Machine, MachineConfig
+
+
+def main() -> None:
+    n_items, depth = 12, 3
+    machine = Machine(MachineConfig(n_nodes=4, seed=5), protocol="primitives")
+    slots = HWSemaphore(machine, initial=depth)  # free buffer slots
+    items = HWSemaphore(machine, initial=0)  # produced items
+    buffer_blocks = [machine.alloc_word() for _ in range(depth)]
+    consumed = []
+
+    prod = machine.processor(0, consistency="bc")
+    cons = machine.processor(2, consistency="bc")
+
+    def producer():
+        for k in range(n_items):
+            yield from slots.p(prod)  # NP-Synch: proceed immediately
+            slot = buffer_blocks[k % depth]
+            yield from prod.shared_write(slot, 100 + k)  # buffered global write
+            yield from prod.compute(20)
+            yield from items.v(prod)  # CP-Synch: flushes the write first
+
+    def consumer():
+        for k in range(n_items):
+            yield from items.p(cons)
+            slot = buffer_blocks[k % depth]
+            value = yield from cons.read_global(slot)  # guaranteed fresh
+            consumed.append(value)
+            yield from cons.compute(35)
+            yield from slots.v(cons)
+
+    machine.spawn(producer(), name="producer")
+    machine.spawn(consumer(), name="consumer")
+    machine.run()
+
+    print(f"consumed ({len(consumed)} items): {consumed}")
+    print(f"completion: {machine.sim.now:.0f} cycles")
+    assert consumed == [100 + k for k in range(n_items)]
+    print("every item arrived exactly once, in order — V's flush made the")
+    print("producer's buffered writes visible before each wake-up.")
+
+
+if __name__ == "__main__":
+    main()

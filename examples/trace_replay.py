@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Trace-driven simulation: record once, replay across design points.
+
+The paper's future-work section names trace-driven simulation as the
+alternative to probabilistic workloads.  This records the data-reference
+stream of a small phased computation on the paper machine, then replays
+the identical stream on every protocol and two interconnects — the classic
+methodology for isolating an architectural variable.
+
+Run:  python examples/trace_replay.py
+"""
+
+import io
+
+from repro import Machine, MachineConfig
+from repro.workloads import TraceRecorder, load_trace, replay, save_trace
+
+
+def record() -> list:
+    machine = Machine(MachineConfig(n_nodes=4, seed=11), protocol="primitives")
+    shared = [machine.alloc_word() for _ in range(8)]
+    trace: list = []
+
+    def worker(node_id):
+        proc = machine.processor(node_id, consistency="bc")
+        rec = TraceRecorder(proc, trace)
+        for phase in range(3):
+            for s in shared[node_id::4]:
+                yield from rec.write_global(s, phase * 10 + node_id)
+            yield from rec.flush()
+            for s in shared:
+                yield from rec.shared_read(s)
+            yield from rec.compute(50)
+
+    for i in range(4):
+        machine.spawn(worker(i))
+    machine.run()
+    return trace
+
+
+def main() -> None:
+    trace = record()
+    print(f"recorded {len(trace)} operations from 4 nodes")
+
+    # Round-trip through the serialized form, as a real study would.
+    buf = io.StringIO()
+    save_trace(trace, buf)
+    buf.seek(0)
+    trace = load_trace(buf)
+
+    print(f"\n{'design point':<32}{'completion (cycles)':>20}")
+    for protocol in ("primitives", "wbi", "writeupdate"):
+        for network in ("omega", "mesh"):
+            machine = Machine(
+                MachineConfig(n_nodes=4, seed=11, network=network), protocol=protocol
+            )
+            t = replay(machine, trace, consistency="bc")
+            print(f"{protocol + ' / ' + network:<32}{t:>20.0f}")
+    print(
+        "\nSame reference stream everywhere; only the architecture varies —\n"
+        "replay downgrades the Table 1 primitives where a machine lacks them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The Figure 4 experiment: how lock implementation decides scalability.
+
+A dynamic work queue guarded by a single lock is the kernel of many
+parallel runtimes — and a worst case for contention.  This sweeps the
+processor count for three lock schemes:
+
+* ``tts``          test-and-test-and-set over the WBI protocol (the
+                   paper's "Q-WBI" curve): every release triggers an
+                   invalidation storm and a stampede of misses;
+* ``tts_backoff``  the same with exponential backoff ("Q-backoff");
+* ``cbl``          the paper's cache-based queued lock ("Q-CBL"):
+                   one message to enqueue, spin locally, two transits per
+                   handoff.
+
+Run:  python examples/work_queue_scaling.py
+"""
+
+from repro import Machine, MachineConfig
+from repro.workloads import WorkQueueParams, WorkQueueWorkload
+
+
+def run_point(n: int, scheme: str) -> float:
+    protocol = "primitives" if scheme == "cbl" else "wbi"
+    machine = Machine(MachineConfig(n_nodes=n, seed=1), protocol=protocol)
+    workload = WorkQueueWorkload(
+        machine,
+        WorkQueueParams(n_tasks=4 * n, grain_size=50),
+        lock_scheme=scheme,
+    )
+    return workload.run().completion_time
+
+
+def main() -> None:
+    ns = (2, 4, 8, 16, 32)
+    schemes = ("cbl", "tts_backoff", "tts")
+    labels = {"cbl": "Q-CBL", "tts_backoff": "Q-backoff", "tts": "Q-WBI"}
+    print("completion time (cycles), work-queue model, medium grain\n")
+    print(f"{'n':>4}" + "".join(f"{labels[s]:>12}" for s in schemes))
+    data = {}
+    for n in ns:
+        row = f"{n:>4}"
+        for s in schemes:
+            data[(n, s)] = run_point(n, s)
+            row += f"{data[(n, s)]:>12.0f}"
+        print(row)
+    big = ns[-1]
+    print(
+        f"\nAt n={big}: Q-WBI is {data[(big, 'tts')] / data[(big, 'cbl')]:.1f}x slower "
+        f"than Q-CBL; backoff recovers to {data[(big, 'tts_backoff')] / data[(big, 'cbl')]:.1f}x."
+    )
+    print("The hardware queue lock is what keeps the work queue scalable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro: reproduction of "Architectural Primitives for a Scalable Shared
+Memory Multiprocessor" (Lee & Ramachandran, SPAA 1991).
+
+A discrete-event simulation of the paper's machine — buffered consistency,
+reader-initiated coherence, cache-based queued locks — plus the baselines
+it is evaluated against (write-back invalidation, software locks) and the
+analytical cost models behind Tables 2 and 3.
+
+Quick start::
+
+    from repro import Machine, MachineConfig, CBLLock
+
+    cfg = MachineConfig(n_nodes=8)
+    m = Machine(cfg, protocol="primitives")
+    lock = CBLLock(m)
+
+    def worker(proc):
+        yield from proc.acquire(lock)
+        v = yield from lock.read_data(proc, 0)
+        yield from lock.write_data(proc, 0, v + 1)
+        yield from proc.release(lock)
+
+    for i in range(8):
+        m.spawn(worker(m.processor(i, consistency="bc")))
+    m.run()
+"""
+
+from .consistency import get_model
+from .sync import (
+    CBLLock,
+    HWBarrier,
+    HWSemaphore,
+    MCSLock,
+    SWBarrier,
+    TicketLock,
+    TSLock,
+    TTSBackoffLock,
+    TTSLock,
+)
+from .system import Machine, MachineConfig, RunMetrics
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "RunMetrics",
+    "CBLLock",
+    "HWBarrier",
+    "HWSemaphore",
+    "TSLock",
+    "TTSLock",
+    "TTSBackoffLock",
+    "TicketLock",
+    "MCSLock",
+    "SWBarrier",
+    "get_model",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Analytical models: Table 2 (solver coherence costs), Table 3
+(synchronization scenario costs), and queueing cross-checks."""
+
+from .costs import TimeParams, TransactionCosts
+from .queueing import hotspot_saturation, md1_wait, omega_uncontended_latency
+from .table2 import OpCost, steady_state_latency, steady_state_traffic, table2, table2_row
+from .table3 import ScenarioCost, contention_advantage, table3, table3_entry
+
+__all__ = [
+    "TransactionCosts",
+    "TimeParams",
+    "OpCost",
+    "table2",
+    "table2_row",
+    "steady_state_traffic",
+    "steady_state_latency",
+    "ScenarioCost",
+    "table3",
+    "table3_entry",
+    "contention_advantage",
+    "md1_wait",
+    "hotspot_saturation",
+    "omega_uncontended_latency",
+]

@@ -1,0 +1,55 @@
+"""Symbolic cost parameters shared by the analytical models.
+
+Table 2 uses per-transaction network costs; Table 3 uses per-event times:
+
+==========  =====================================================
+``C_B``     block transfer
+``C_W``     word transfer
+``C_I``     invalidation
+``C_R``     transaction carrying no data
+``t_nw``    network transit time
+``t_cs``    time inside the critical section
+``t_D``     directory (central or cache) check time
+``t_m``     time to read a memory block from main memory
+==========  =====================================================
+
+Defaults express the transaction costs in flits consistent with the
+simulator (header + payload) and the times in cycles consistent with
+:class:`~repro.system.config.MachineConfig` defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransactionCosts", "TimeParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionCosts:
+    """Network cost per transaction type (Table 2's constants)."""
+
+    c_b: float = 5.0  # block transfer (1 header + B words, B=4)
+    c_w: float = 2.0  # word transfer
+    c_i: float = 1.0  # invalidation
+    c_r: float = 1.0  # empty transaction
+
+    def __post_init__(self) -> None:
+        for f in ("c_b", "c_w", "c_i", "c_r"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{f} must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class TimeParams:
+    """Per-event times (Table 3's constants), in cycles."""
+
+    t_nw: float = 10.0  # network transit
+    t_cs: float = 50.0  # critical-section body
+    t_d: float = 1.0  # directory check
+    t_m: float = 4.0  # memory block read
+
+    def __post_init__(self) -> None:
+        for f in ("t_nw", "t_cs", "t_d", "t_m"):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be non-negative")

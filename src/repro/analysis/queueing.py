@@ -1,0 +1,44 @@
+"""Simple queueing estimates for network contention.
+
+The paper leaves network contention to simulation; these closed forms give
+back-of-envelope cross-checks used by tests and EXPERIMENTS.md:
+
+* an M/D/1 estimate of the waiting time at a switch output port under
+  Poisson offered load (deterministic service = flit time x message size);
+* the classic hot-spot saturation bound of Pfister & Norton [18]: with a
+  fraction ``h`` of references aimed at one hot module, throughput of an
+  N-node network saturates at ``1 / (1 + h(N-1))`` of its nominal rate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["md1_wait", "hotspot_saturation", "omega_uncontended_latency"]
+
+
+def md1_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean M/D/1 waiting time (cycles) for ``arrival_rate`` msgs/cycle."""
+    if service_time <= 0:
+        raise ValueError("service_time must be positive")
+    if arrival_rate < 0:
+        raise ValueError("arrival_rate must be non-negative")
+    rho = arrival_rate * service_time
+    if rho >= 1:
+        return float("inf")
+    return rho * service_time / (2 * (1 - rho))
+
+
+def hotspot_saturation(n: int, hot_fraction: float) -> float:
+    """Fraction of nominal per-node throughput sustainable with a hot spot."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in [0,1]")
+    return 1.0 / (1.0 + hot_fraction * (n - 1))
+
+
+def omega_uncontended_latency(n: int, flits: int, switch_cycle: float = 1.0) -> float:
+    """Store-and-forward latency of an f-flit message through log2(n) stages."""
+    if n <= 1 or (n & (n - 1)) != 0:
+        raise ValueError("n must be a power of two > 1")
+    stages = n.bit_length() - 1
+    return stages * switch_cycle * flits

@@ -1,0 +1,97 @@
+"""Table 2: network overhead per processor for the linear equation solver.
+
+Closed forms exactly as printed in the paper, for the three schemes:
+
+=============  ==========================  ===========================================================  =======================
+operation      read-update                 inv-I (colocated x)                                          inv-II (one x / block)
+=============  ==========================  ===========================================================  =======================
+initial load   ``ceil(n/B) C_B``           ``ceil(n/B) C_B``                                            ``n C_B``
+write          ``C_W + (n-1)||C_B``        ``(1/B)(C_R + (n-1)||C_I) + ((B-1)/B)(2 C_R + 2 C_B)``       ``C_R + (n-1)||C_I``
+read           ``0``                       ``(1/B)(ceil(n/B)-1) C_B + ((B-1)/B) ceil(n/B) C_B``         ``(n-1) C_B``
+=============  ==========================  ===========================================================  =======================
+
+``p||X`` denotes p transactions performable in parallel.  Each function
+returns both the *serial* total cost (every transaction counted — network
+traffic) and the *parallel-aware* cost (a ``p||X`` group counted once —
+latency on the critical path), since the paper's point is precisely that
+the read-update write pushes its (n-1) block transfers off the critical
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .costs import TransactionCosts
+
+__all__ = ["OpCost", "table2_row", "table2", "SCHEMES"]
+
+SCHEMES = ("read-update", "inv-I", "inv-II")
+
+
+@dataclass(frozen=True, slots=True)
+class OpCost:
+    """Cost of one operation: total traffic vs critical-path latency."""
+
+    traffic: float  # all transactions counted (network load)
+    latency: float  # parallel groups counted once (critical path)
+
+
+def _blocks(n: int, b: int) -> int:
+    return math.ceil(n / b)
+
+
+def table2_row(scheme: str, n: int, b: int, costs: TransactionCosts | None = None) -> Dict[str, OpCost]:
+    """The three Table 2 entries for ``scheme`` with n processors, B-word lines."""
+    if n <= 0 or b <= 0:
+        raise ValueError("n and B must be positive")
+    c = costs or TransactionCosts()
+    nb = _blocks(n, b)
+    if scheme == "read-update":
+        load = nb * c.c_b
+        return {
+            "initial_load": OpCost(load, load),
+            # C_W to memory, then (n-1) parallel block pushes.
+            "write": OpCost(c.c_w + (n - 1) * c.c_b, c.c_w + c.c_b),
+            "read": OpCost(0.0, 0.0),
+        }
+    if scheme == "inv-I":
+        load = nb * c.c_b
+        # With B writers per line: 1/B of writes invalidate the (n-1)
+        # sharers; the other (B-1)/B retrieve the line from the previous
+        # writer (2 C_R + 2 C_B: request+fetch round trips).
+        w_traffic = (1 / b) * (c.c_r + (n - 1) * c.c_i) + ((b - 1) / b) * (2 * c.c_r + 2 * c.c_b)
+        w_latency = (1 / b) * (c.c_r + c.c_i) + ((b - 1) / b) * (2 * c.c_r + 2 * c.c_b)
+        r = (1 / b) * (nb - 1) * c.c_b + ((b - 1) / b) * nb * c.c_b
+        return {
+            "initial_load": OpCost(load, load),
+            "write": OpCost(w_traffic, w_latency),
+            "read": OpCost(r, r),
+        }
+    if scheme == "inv-II":
+        load = n * c.c_b
+        return {
+            "initial_load": OpCost(load, load),
+            "write": OpCost(c.c_r + (n - 1) * c.c_i, c.c_r + c.c_i),
+            "read": OpCost((n - 1) * c.c_b, (n - 1) * c.c_b),
+        }
+    raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+
+
+def table2(n: int, b: int, costs: TransactionCosts | None = None) -> Dict[str, Dict[str, OpCost]]:
+    """The whole table for n processors and B-word cache lines."""
+    return {s: table2_row(s, n, b, costs) for s in SCHEMES}
+
+
+def steady_state_traffic(scheme: str, n: int, b: int, costs: TransactionCosts | None = None) -> float:
+    """Per-processor per-iteration traffic (write + read columns)."""
+    row = table2_row(scheme, n, b, costs)
+    return row["write"].traffic + row["read"].traffic
+
+
+def steady_state_latency(scheme: str, n: int, b: int, costs: TransactionCosts | None = None) -> float:
+    """Per-processor per-iteration critical-path cost (write + read)."""
+    row = table2_row(scheme, n, b, costs)
+    return row["write"].latency + row["read"].latency

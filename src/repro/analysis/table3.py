@@ -1,0 +1,91 @@
+"""Table 3: messages and time for synchronization scenarios, WBI vs CBL.
+
+Closed forms exactly as printed in the paper:
+
+================  ===========================================================  ============================================
+scenario          WBI                                                          CBL
+================  ===========================================================  ============================================
+parallel lock     ``6n^2+4n`` msgs; ``n t_cs + 10n t_nw + n(n+1)/2 t_m +       ``6n-3`` msgs; ``n t_cs + (2n+1) t_nw +
+                  5n(5n-1)/2 t_D``                                             (n+1) t_D + t_m``
+serial lock       ``8`` msgs; ``8 t_nw + 5 t_D + t_m + t_cs``                  ``3`` msgs; ``3 t_nw + t_D + t_cs``
+barrier request   ``18`` msgs; ``18 t_nw + 12 t_D``                            ``2`` msgs; ``2 (t_nw + t_m)``
+barrier notify    ``5n-3`` msgs; ``4 t_nw + (2n-1) t_D``                       ``n`` msgs; ``2 t_nw + (n-1) t_D``
+================  ===========================================================  ============================================
+
+*Parallel lock*: n processors request the same lock simultaneously.
+*Serial lock*: one uncontended acquire/release.  *Barrier request* is per
+participating processor; *barrier notify* is the last arriver's release.
+
+The headline: under contention CBL is O(n) in both messages and time while
+WBI is O(n^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .costs import TimeParams
+
+__all__ = ["ScenarioCost", "table3_entry", "table3", "SCENARIOS", "SCHEMES"]
+
+SCENARIOS = ("parallel_lock", "serial_lock", "barrier_request", "barrier_notify")
+SCHEMES = ("wbi", "cbl")
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioCost:
+    messages: float
+    time: float
+
+
+def table3_entry(scheme: str, scenario: str, n: int, t: TimeParams | None = None) -> ScenarioCost:
+    """One cell of Table 3 for ``n`` processors."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    p = t or TimeParams()
+    if scheme == "wbi":
+        if scenario == "parallel_lock":
+            return ScenarioCost(
+                messages=6 * n * n + 4 * n,
+                time=n * p.t_cs
+                + 10 * n * p.t_nw
+                + n * (n + 1) / 2 * p.t_m
+                + 5 * n * (5 * n - 1) / 2 * p.t_d,
+            )
+        if scenario == "serial_lock":
+            return ScenarioCost(8, 8 * p.t_nw + 5 * p.t_d + p.t_m + p.t_cs)
+        if scenario == "barrier_request":
+            return ScenarioCost(18, 18 * p.t_nw + 12 * p.t_d)
+        if scenario == "barrier_notify":
+            return ScenarioCost(5 * n - 3, 4 * p.t_nw + (2 * n - 1) * p.t_d)
+    elif scheme == "cbl":
+        if scenario == "parallel_lock":
+            return ScenarioCost(
+                messages=6 * n - 3,
+                time=n * p.t_cs + (2 * n + 1) * p.t_nw + (n + 1) * p.t_d + p.t_m,
+            )
+        if scenario == "serial_lock":
+            return ScenarioCost(3, 3 * p.t_nw + p.t_d + p.t_cs)
+        if scenario == "barrier_request":
+            return ScenarioCost(2, 2 * (p.t_nw + p.t_m))
+        if scenario == "barrier_notify":
+            return ScenarioCost(n, 2 * p.t_nw + (n - 1) * p.t_d)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+    raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+
+
+def table3(n: int, t: TimeParams | None = None) -> Dict[str, Dict[str, ScenarioCost]]:
+    """The whole table for ``n`` processors."""
+    return {
+        scenario: {scheme: table3_entry(scheme, scenario, n, t) for scheme in SCHEMES}
+        for scenario in SCENARIOS
+    }
+
+
+def contention_advantage(n: int, t: TimeParams | None = None) -> float:
+    """WBI/CBL time ratio under full lock contention (grows linearly in n)."""
+    wbi = table3_entry("wbi", "parallel_lock", n, t)
+    cbl = table3_entry("cbl", "parallel_lock", n, t)
+    return wbi.time / cbl.time

@@ -1,0 +1,19 @@
+"""Cache substrate: lines with Fig. 2a metadata, set-associative cache,
+lock cache, and the write buffer."""
+
+from .cache import CacheGeometryError, SetAssocCache
+from .line import CacheLine
+from .lockcache import LockCache, LockCacheFullError
+from .states import LineState, LockMode
+from .writebuffer import WriteBuffer
+
+__all__ = [
+    "CacheLine",
+    "LineState",
+    "LockMode",
+    "SetAssocCache",
+    "CacheGeometryError",
+    "LockCache",
+    "LockCacheFullError",
+    "WriteBuffer",
+]

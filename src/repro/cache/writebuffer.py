@@ -1,0 +1,103 @@
+"""The per-node write buffer (Section 4.2).
+
+WRITE-GLOBAL requests are deposited here and issued to the network without
+stalling the processor; an entry retires when the home memory's ack
+returns.  The buffer's occupancy *is* the Adve–Hill pending-operation
+counter: FLUSH-BUFFER simply waits for occupancy zero.
+
+The paper assumes an infinite buffer; a finite ``capacity`` makes ``put``
+block (processor stall on a full buffer), exposed for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.stats import StatSet, TimeWeighted
+
+__all__ = ["WriteBuffer"]
+
+
+class WriteBuffer:
+    """FIFO of pending global writes with ack-driven retirement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        issue: Callable[[int, int, int], int],
+        capacity: Optional[int] = None,
+    ):
+        """``issue(word_addr, value, entry_id)`` sends the write toward its
+        home and returns immediately; the caller must call :meth:`retire`
+        with the same ``entry_id`` when the ack arrives."""
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.sim = sim
+        self._issue = issue
+        self.capacity = capacity
+        self._pending: Dict[int, tuple[int, int]] = {}
+        self._next_id = 0
+        self._flush_waiters: list[Event] = []
+        self._space_waiters: list[tuple[Event, int, int]] = []
+        self.stats = StatSet()
+        self.occupancy = TimeWeighted()
+
+    # -- state ----------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """The Adve–Hill counter: global writes issued but not yet acked."""
+        return len(self._pending)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and self.pending_count >= self.capacity
+
+    # -- operations ----------------------------------------------------------
+    def put(self, word_addr: int, value: int) -> Event:
+        """Buffer a global write.  The event fires when the write has been
+        *accepted* (immediately unless the buffer is full), NOT when it is
+        globally performed — that is what FLUSH-BUFFER is for."""
+        ev = Event(self.sim, name="wb.put")
+        if self.is_full:
+            self._space_waiters.append((ev, word_addr, value))
+        else:
+            self._accept(word_addr, value)
+            ev.succeed()
+        return ev
+
+    def _accept(self, word_addr: int, value: int) -> None:
+        entry_id = self._next_id
+        self._next_id += 1
+        self._pending[entry_id] = (word_addr, value)
+        self.stats.counters.add("writes")
+        self.occupancy.set(self.sim.now, self.pending_count)
+        self._issue(word_addr, value, entry_id)
+
+    def retire(self, entry_id: int) -> None:
+        """Ack received from the home: the write is globally performed."""
+        if entry_id not in self._pending:
+            raise KeyError(f"unknown write-buffer entry {entry_id}")
+        del self._pending[entry_id]
+        self.stats.counters.add("retired")
+        self.occupancy.set(self.sim.now, self.pending_count)
+        if self._space_waiters and not self.is_full:
+            # Accept synchronously so a concurrent flush sees the write as
+            # pending before the waiter's event fires.
+            ev, addr, value = self._space_waiters.pop(0)
+            self._accept(addr, value)
+            ev.succeed()
+        if not self._pending and not self._space_waiters:
+            waiters, self._flush_waiters = self._flush_waiters, []
+            for ev in waiters:
+                ev.succeed()
+
+    def flush(self) -> Event:
+        """FLUSH-BUFFER: fires when every buffered write has been acked."""
+        ev = Event(self.sim, name="wb.flush")
+        self.stats.counters.add("flushes")
+        if not self._pending and not self._space_waiters:
+            ev.succeed()
+        else:
+            self._flush_waiters.append(ev)
+        return ev

@@ -1,0 +1,19 @@
+"""Coherence protocols: WBI baseline, reader-initiated (read-update), and
+the sender-initiated write-update comparator."""
+
+from .base import AckCollector, Controller
+from .readupdate import PrimitivesCacheController, PrimitivesHomeController
+from .wbi import WBICacheController, WBIHomeController, apply_rmw
+from .writeupdate import WUCacheController, WUHomeController
+
+__all__ = [
+    "Controller",
+    "AckCollector",
+    "WBICacheController",
+    "WBIHomeController",
+    "PrimitivesCacheController",
+    "PrimitivesHomeController",
+    "WUCacheController",
+    "WUHomeController",
+    "apply_rmw",
+]

@@ -1,0 +1,88 @@
+"""Shared plumbing for cache-side and home-side protocol controllers.
+
+Controllers are attached to a :class:`~repro.node.node.Node`, which gives
+them the simulator, network, address map, directory, memory module, and
+caches.  Two conventions keep the protocols tractable:
+
+* **Per-block home serialization.**  Every *request* handled at a home
+  directory marks the block busy for the duration of its transaction;
+  conflicting requests are deferred on the directory entry and replayed in
+  FIFO order when the transaction completes.  *Responses* that belong to
+  the in-flight transaction (invalidation acks, fetch replies) bypass the
+  busy check.
+
+* **Reply matching.**  A requester that expects a reply registers a pending
+  event under a key (usually ``(kind, block)``); the handler for the reply
+  message resolves it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+from ..network.message import Message, MessageType
+from ..sim.core import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node.node import Node
+
+__all__ = ["Controller", "AckCollector"]
+
+
+class Controller:
+    """Base for protocol engines living on a node."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self.sim = node.sim
+        self.cfg = node.cfg
+        self.amap = node.amap
+        self.stats = node.stats
+
+    # -- messaging ----------------------------------------------------------
+    def send(self, dst: int, mtype: MessageType, addr: int = -1, **info: Any) -> None:
+        """Send one message from this node."""
+        self.node.net.send(Message(src=self.node.node_id, dst=dst, mtype=mtype, addr=addr, info=info))
+
+    # -- pending replies ------------------------------------------------------
+    @property
+    def _pending(self) -> Dict[Tuple, Event]:
+        return self.node._pending_replies
+
+    def expect(self, key: Tuple) -> Event:
+        """Register interest in a future reply identified by ``key``."""
+        if key in self._pending:
+            raise RuntimeError(f"duplicate pending reply key {key} at node {self.node.node_id}")
+        ev = Event(self.sim, name=f"expect{key}")
+        self._pending[key] = ev
+        return ev
+
+    def resolve(self, key: Tuple, value: Any = None) -> bool:
+        """Fire the pending event for ``key``; returns False if nobody waits."""
+        ev = self._pending.pop(key, None)
+        if ev is None:
+            return False
+        ev.succeed(value)
+        return True
+
+    def has_pending(self, key: Tuple) -> bool:
+        return key in self._pending
+
+
+class AckCollector:
+    """Counts down N acknowledgments, then fires its event."""
+
+    __slots__ = ("event", "remaining")
+
+    def __init__(self, sim, n: int):
+        self.event = Event(sim, name=f"acks({n})")
+        self.remaining = n
+        if n == 0:
+            self.event.succeed()
+
+    def ack(self) -> None:
+        if self.remaining <= 0:
+            raise RuntimeError("more acks than expected")
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.event.succeed()

@@ -1,0 +1,444 @@
+"""WBI: the write-back invalidation directory protocol (the paper's baseline).
+
+An MSI-style protocol over a central (per-home) directory:
+
+* ``read`` misses fetch a SHARED copy; if another cache holds the block
+  dirty, the home fetches it back first.
+* ``write`` needs EXCLUSIVE: misses fetch an exclusive copy after
+  invalidating all sharers; hits on SHARED send an upgrade.
+* ``rmw`` (atomic read-modify-write, the substrate for software locks) is
+  performed at the home memory after invalidating every cached copy — each
+  probe crosses the network, which is precisely the hot-spot behaviour the
+  paper's CBL scheme is designed to avoid.
+
+Every home transaction is serialized per block via the directory entry's
+busy bit; conflicting requests are deferred and replayed in arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from ..cache.states import LineState
+from ..network.message import Message, MessageType
+from ..sim.core import Event
+from .base import AckCollector, Controller
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node.node import Node
+
+__all__ = ["WBICacheController", "WBIHomeController", "apply_rmw"]
+
+
+def apply_rmw(op: str, old: int, operand) -> int:
+    """The new memory value for an atomic ``op`` given the old value."""
+    if op == "test_set":
+        return 1
+    if op == "swap":
+        return operand
+    if op == "fetch_add":
+        return old + operand
+    if op == "cas":
+        expected, new = operand
+        return new if old == expected else old
+    if op == "write":
+        return operand
+    raise ValueError(f"unknown rmw op {op!r}")
+
+
+class WBICacheController(Controller):
+    """Processor-side WBI engine: blocking read/write/rmw plus remote handlers."""
+
+    #: Message types this controller consumes.
+    IN_TYPES = frozenset(
+        {
+            MessageType.DATA_BLOCK,
+            MessageType.DATA_BLOCK_EXCL,
+            MessageType.UPGRADE_ACK,
+            MessageType.WRITEBACK_ACK,
+            MessageType.RMW_REPLY,
+            MessageType.INV,
+            MessageType.FETCH,
+            MessageType.FETCH_INV,
+        }
+    )
+
+    def __init__(self, node: "Node"):
+        super().__init__(node)
+        self._inv_watchers: Dict[int, List[Event]] = {}
+
+    # ================= processor-side operations (generators) =============
+    def read(self, word_addr: int):
+        """Coherent read; returns the word value."""
+        block = self.amap.block_of(word_addr)
+        offset = self.amap.offset_of(word_addr)
+        cache = self.node.cache
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        line = cache.lookup(block, now=self.sim.now)
+        if line is not None:
+            self.stats.counters.add("wbi.read_hits")
+            return line.read_word(offset)
+        self.stats.counters.add("wbi.read_misses")
+        yield from self._evict_for(block)
+        home = self.amap.home_of(block)
+        ev = self.expect(("c:data", block))
+        self.send(home, MessageType.READ_MISS, addr=block)
+        words, excl = yield ev
+        state = LineState.EXCLUSIVE if excl else LineState.SHARED
+        line, _ = self.node.cache.install(block, words, state, now=self.sim.now)
+        return line.read_word(offset)
+
+    def write(self, word_addr: int, value: int):
+        """Coherent write (needs exclusivity)."""
+        block = self.amap.block_of(word_addr)
+        offset = self.amap.offset_of(word_addr)
+        cache = self.node.cache
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        line = cache.lookup(block, now=self.sim.now)
+        if line is not None and line.state is LineState.EXCLUSIVE:
+            self.stats.counters.add("wbi.write_hits")
+            line.write_word(offset, value)
+            return
+        home = self.amap.home_of(block)
+        if line is not None and line.state is LineState.SHARED:
+            self.stats.counters.add("wbi.upgrades")
+            ev = self.expect(("c:excl", block))
+            self.send(home, MessageType.UPGRADE, addr=block)
+            payload = yield ev
+            if payload is None:
+                # Pure upgrade ack: our copy stayed valid.
+                line.state = LineState.EXCLUSIVE
+                line.write_word(offset, value)
+                return
+            # We lost the copy while the upgrade was in flight; home sent
+            # fresh data with exclusivity instead.
+            words = payload
+            line, _ = cache.install(block, words, LineState.EXCLUSIVE, now=self.sim.now)
+            line.write_word(offset, value)
+            return
+        self.stats.counters.add("wbi.write_misses")
+        yield from self._evict_for(block)
+        ev = self.expect(("c:excl", block))
+        self.send(home, MessageType.WRITE_MISS, addr=block)
+        words = yield ev
+        line, _ = cache.install(block, words, LineState.EXCLUSIVE, now=self.sim.now)
+        line.write_word(offset, value)
+
+    def rmw(self, word_addr: int, op: str, operand=None):
+        """Atomic read-modify-write at the home memory; returns the old value."""
+        self.stats.counters.add("wbi.rmw")
+        block = self.amap.block_of(word_addr)
+        home = self.amap.home_of(block)
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        ev = self.expect(("c:rmw", word_addr))
+        self.send(home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand)
+        old = yield ev
+        return old
+
+    def watch_invalidation(self, block: int) -> Event:
+        """Event fired the next time ``block`` is invalidated locally.
+
+        This is how test-and-test-and-set spinners wait: a cached spin value
+        can only change after the local copy is invalidated.
+        """
+        ev = Event(self.sim, name=f"inv-watch({block})")
+        self._inv_watchers.setdefault(block, []).append(ev)
+        return ev
+
+    # ================= internals ==========================================
+    def _evict_for(self, block: int):
+        """Make room for ``block``: write back the chosen victim if dirty."""
+        victim = self.node.cache.victim_for(block)
+        if victim is None or not victim.valid:
+            return
+        if victim.dirty:
+            yield from self._writeback(victim)
+        else:
+            # Silent clean eviction: home's sharer list goes stale; a later
+            # INV for this block is answered with a plain ack.
+            self.stats.counters.add("wbi.silent_evictions")
+        self._notify_invalidation(victim.block)
+        victim.invalidate()
+
+    def _writeback(self, line):
+        self.stats.counters.add("wbi.writebacks")
+        home = self.amap.home_of(line.block)
+        ev = self.expect(("c:wback", line.block))
+        self.send(
+            home,
+            MessageType.WRITEBACK,
+            addr=line.block,
+            words=list(line.data),
+            mask=line.dirty_mask,
+        )
+        yield ev
+
+    def _notify_invalidation(self, block: int) -> None:
+        watchers = self._inv_watchers.pop(block, None)
+        if watchers:
+            for ev in watchers:
+                ev.succeed()
+
+    # ================= message handlers ====================================
+    def handle(self, msg: Message) -> None:
+        mt = msg.mtype
+        if mt is MessageType.DATA_BLOCK:
+            self.resolve(("c:data", msg.addr), (msg.info["words"], False))
+        elif mt is MessageType.DATA_BLOCK_EXCL:
+            # May answer either a write miss or an upgraded-turned-miss.
+            if not self.resolve(("c:excl", msg.addr), msg.info["words"]):
+                self.resolve(("c:data", msg.addr), (msg.info["words"], True))
+        elif mt is MessageType.UPGRADE_ACK:
+            self.resolve(("c:excl", msg.addr), None)
+        elif mt is MessageType.WRITEBACK_ACK:
+            self.resolve(("c:wback", msg.addr))
+        elif mt is MessageType.RMW_REPLY:
+            self.resolve(("c:rmw", msg.info["word"]), msg.info["old"])
+        elif mt is MessageType.INV:
+            self._on_inv(msg)
+        elif mt is MessageType.FETCH:
+            self._on_fetch(msg, invalidate=False)
+        elif mt is MessageType.FETCH_INV:
+            self._on_fetch(msg, invalidate=True)
+        else:  # pragma: no cover - wiring error
+            raise RuntimeError(f"WBI cache controller got {msg!r}")
+
+    def _reply_later(self, dst: int, mtype: MessageType, addr: int, **info) -> None:
+        """Send after the cache-directory check time."""
+        ev = self.sim.timeout(self.cfg.dir_cycle)
+        ev.callbacks.append(lambda _e: self.send(dst, mtype, addr=addr, **info))
+
+    def _on_inv(self, msg: Message) -> None:
+        line = self.node.cache.peek(msg.addr)
+        if line is not None:
+            self.stats.counters.add("wbi.invalidations_received")
+            line.invalidate()
+            self._notify_invalidation(msg.addr)
+        self._reply_later(msg.src, MessageType.INV_ACK, msg.addr)
+
+    def _on_fetch(self, msg: Message, invalidate: bool) -> None:
+        line = self.node.cache.peek(msg.addr)
+        if line is None:
+            # Raced with our own eviction: the WRITEBACK is in flight and
+            # carries the data; home will use it.  Tell home to use memory.
+            self._reply_later(msg.src, MessageType.FETCH_REPLY, msg.addr, words=None)
+            return
+        words = list(line.data)
+        if invalidate:
+            line.invalidate()
+            self._notify_invalidation(msg.addr)
+        else:
+            line.state = LineState.SHARED
+            line.dirty_mask = 0
+        self._reply_later(msg.src, MessageType.FETCH_REPLY, msg.addr, words=words)
+
+
+class WBIHomeController(Controller):
+    """Directory/home-side WBI engine."""
+
+    #: Requests serialized by the per-block busy bit.
+    REQUEST_TYPES = frozenset(
+        {
+            MessageType.READ_MISS,
+            MessageType.WRITE_MISS,
+            MessageType.UPGRADE,
+            MessageType.WRITEBACK,
+            MessageType.RMW_REQ,
+        }
+    )
+    #: In-transaction responses (never deferred).
+    RESPONSE_TYPES = frozenset({MessageType.INV_ACK, MessageType.FETCH_REPLY})
+    IN_TYPES = REQUEST_TYPES | RESPONSE_TYPES
+
+    def __init__(self, node: "Node"):
+        super().__init__(node)
+        self._ack_collectors: Dict[int, AckCollector] = {}
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        mt = msg.mtype
+        if mt is MessageType.INV_ACK:
+            self._ack_collectors[msg.addr].ack()
+            return
+        if mt is MessageType.FETCH_REPLY:
+            self.resolve(("h:fetch", msg.addr), msg.info["words"])
+            return
+        entry = self.node.directory.entry(msg.addr)
+        if entry.busy:
+            entry.defer(msg)
+            return
+        entry.busy = True
+        handler = {
+            MessageType.READ_MISS: self._h_read_miss,
+            MessageType.WRITE_MISS: self._h_write_miss,
+            MessageType.UPGRADE: self._h_upgrade,
+            MessageType.WRITEBACK: self._h_writeback,
+            MessageType.RMW_REQ: self._h_rmw,
+        }[mt]
+        self.sim.process(handler(msg, entry), name=f"wbi-home-{mt.name}-{msg.addr}")
+
+    def _done(self, entry) -> None:
+        """Close a transaction and replay the next deferred request."""
+        entry.busy = False
+        nxt = entry.pop_deferred()
+        if nxt is not None:
+            self.handle(nxt)
+
+    # -- helpers ----------------------------------------------------------
+    def _invalidate_sharers(self, entry, exclude: int):
+        """Send INVs to all sharers except ``exclude``; wait for the acks."""
+        from ..memory.directory import DirState
+
+        targets = [s for s in entry.sharers if s != exclude]
+        coll = AckCollector(self.sim, len(targets))
+        if targets:
+            self._ack_collectors[entry.block] = coll
+            for t in targets:
+                self.send(t, MessageType.INV, addr=entry.block)
+            self.stats.counters.add("wbi.invalidations_sent", len(targets))
+        yield coll.event
+        self._ack_collectors.pop(entry.block, None)
+        entry.sharers.clear()
+
+    def _recall_from_owner(self, entry, invalidate: bool):
+        """Fetch the dirty block back from its owner; returns fresh words."""
+        mem = self.node.memory
+        mtype = MessageType.FETCH_INV if invalidate else MessageType.FETCH
+        ev = self.expect(("h:fetch", entry.block))
+        self.send(entry.owner, mtype, addr=entry.block)
+        words = yield ev
+        if words is None:
+            # The owner had already started a writeback; it is deferred on
+            # this entry and will be replayed.  Use memory's current content
+            # merged with the deferred writeback if present.
+            for d in entry.deferred:
+                if d.mtype is MessageType.WRITEBACK and d.src == entry.owner:
+                    mem.write_dirty_words(entry.block, d.info["words"], d.info["mask"])
+                    break
+            words = mem.read_block(entry.block)
+        else:
+            mem.write_block(entry.block, words)
+        yield self.sim.timeout(self.cfg.memory_cycle)
+        return words
+
+    # -- request handlers ----------------------------------------------------
+    def _make_room_in_directory(self, entry, req: int):
+        """Limited directory (Dir_i-NB): evict one sharer before adding
+        another beyond the configured pointer limit."""
+        limit = self.cfg.directory_limit
+        if limit is None or req in entry.sharers or len(entry.sharers) < limit:
+            return
+        victim = next(iter(entry.sharers))
+        coll = AckCollector(self.sim, 1)
+        self._ack_collectors[entry.block] = coll
+        self.send(victim, MessageType.INV, addr=entry.block)
+        self.stats.counters.add("wbi.dir_evictions")
+        yield coll.event
+        self._ack_collectors.pop(entry.block, None)
+        entry.sharers.discard(victim)
+
+    def _h_read_miss(self, msg: Message, entry):
+        from ..memory.directory import DirState
+
+        req = msg.src
+        yield self.sim.timeout(self.cfg.dir_cycle)
+        mem = self.node.memory
+        if entry.state is DirState.EXCLUSIVE and entry.owner != req:
+            words = yield from self._recall_from_owner(entry, invalidate=False)
+            entry.state = DirState.SHARED
+            entry.sharers = {entry.owner, req}
+            entry.owner = None
+            self.send(req, MessageType.DATA_BLOCK, addr=entry.block, words=words)
+        else:
+            if entry.state is DirState.SHARED:
+                yield from self._make_room_in_directory(entry, req)
+            yield self.sim.timeout(self.cfg.memory_cycle)
+            words = mem.read_block(entry.block)
+            if entry.state is DirState.UNOWNED:
+                entry.state = DirState.SHARED
+                entry.sharers = {req}
+            else:
+                entry.sharers.add(req)
+            self.send(req, MessageType.DATA_BLOCK, addr=entry.block, words=words)
+        self._done(entry)
+
+    def _h_write_miss(self, msg: Message, entry):
+        from ..memory.directory import DirState
+
+        req = msg.src
+        yield self.sim.timeout(self.cfg.dir_cycle)
+        mem = self.node.memory
+        if entry.state is DirState.EXCLUSIVE and entry.owner != req:
+            words = yield from self._recall_from_owner(entry, invalidate=True)
+        else:
+            if entry.state is DirState.SHARED:
+                yield from self._invalidate_sharers(entry, exclude=req)
+            yield self.sim.timeout(self.cfg.memory_cycle)
+            words = mem.read_block(entry.block)
+        entry.state = DirState.EXCLUSIVE
+        entry.owner = req
+        entry.sharers = set()
+        self.send(req, MessageType.DATA_BLOCK_EXCL, addr=entry.block, words=words)
+        self._done(entry)
+
+    def _h_upgrade(self, msg: Message, entry):
+        from ..memory.directory import DirState
+
+        req = msg.src
+        yield self.sim.timeout(self.cfg.dir_cycle)
+        if entry.state is DirState.SHARED and req in entry.sharers:
+            yield from self._invalidate_sharers(entry, exclude=req)
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = req
+            entry.sharers = set()
+            self.send(req, MessageType.UPGRADE_ACK, addr=entry.block)
+        else:
+            # The requester's copy is gone (invalidated or recalled while the
+            # upgrade was in flight): degrade to a full write miss.
+            if entry.state is DirState.EXCLUSIVE and entry.owner != req:
+                words = yield from self._recall_from_owner(entry, invalidate=True)
+            else:
+                if entry.state is DirState.SHARED:
+                    yield from self._invalidate_sharers(entry, exclude=req)
+                yield self.sim.timeout(self.cfg.memory_cycle)
+                words = self.node.memory.read_block(entry.block)
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = req
+            entry.sharers = set()
+            self.send(req, MessageType.DATA_BLOCK_EXCL, addr=entry.block, words=words)
+        self._done(entry)
+
+    def _h_writeback(self, msg: Message, entry):
+        from ..memory.directory import DirState
+
+        req = msg.src
+        yield self.sim.timeout(self.cfg.dir_cycle)
+        if entry.state is DirState.EXCLUSIVE and entry.owner == req:
+            self.node.memory.write_dirty_words(entry.block, msg.info["words"], msg.info["mask"])
+            yield self.sim.timeout(self.cfg.memory_cycle)
+            entry.state = DirState.UNOWNED
+            entry.owner = None
+        else:
+            # Stale writeback (raced with a fetch we already served).
+            entry.sharers.discard(req)
+        self.send(req, MessageType.WRITEBACK_ACK, addr=entry.block)
+        self._done(entry)
+
+    def _h_rmw(self, msg: Message, entry):
+        from ..memory.directory import DirState
+
+        req = msg.src
+        yield self.sim.timeout(self.cfg.dir_cycle)
+        mem = self.node.memory
+        if entry.state is DirState.EXCLUSIVE:
+            yield from self._recall_from_owner(entry, invalidate=True)
+            entry.owner = None
+        elif entry.state is DirState.SHARED:
+            yield from self._invalidate_sharers(entry, exclude=-1)
+        entry.state = DirState.UNOWNED
+        yield self.sim.timeout(self.cfg.memory_cycle)
+        word = msg.info["word"]
+        old = mem.read_word(word)
+        mem.write_word(word, apply_rmw(msg.info["op"], old, msg.info["operand"]))
+        self.send(req, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
+        self._done(entry)

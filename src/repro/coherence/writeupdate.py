@@ -1,0 +1,223 @@
+"""Sender-initiated write-update protocol (Dragon/Firefly-style comparator).
+
+Section 4.1 contrasts reader-initiated coherence with classic write-update
+schemes: "In the latter, whenever a read operation is performed it is
+remembered forever until the line is replaced by the reader.  So readers
+continue to receive updates even if the line is not actively used."
+
+This directory version makes that concrete:
+
+* a read miss registers the reader in the block's sharer set and stays
+  registered until the line is replaced (an explicit ``WU_EVICT`` trims
+  the set — real hardware snoops; a directory must be told);
+* every write is written through to the home, which updates memory and
+  pushes the word to every other registered sharer;
+* the writer stalls until the home's ack (the classic strongly-consistent
+  formulation; the buffered variants belong to the primitives machine).
+
+The protocol exists for ablations: it loses to READ-UPDATE exactly when
+stale subscribers accumulate, which is the paper's argument for putting
+the subscription under *reader* control.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from ..cache.states import LineState
+from ..network.message import Message, MessageType
+from ..sim.core import Event
+from .base import Controller
+from .wbi import apply_rmw
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node.node import Node
+
+__all__ = ["WUCacheController", "WUHomeController"]
+
+
+class WUCacheController(Controller):
+    """Processor-side write-update engine."""
+
+    IN_TYPES = frozenset(
+        {
+            MessageType.DATA_BLOCK,
+            MessageType.WU_UPDATE,
+            MessageType.WU_ACK,
+            MessageType.RMW_REPLY,
+        }
+    )
+
+    def __init__(self, node: "Node"):
+        super().__init__(node)
+        self._change_watchers: Dict[int, List[Event]] = {}
+
+    # -- processor operations ------------------------------------------------
+    def read(self, word_addr: int):
+        """Coherent read; registers this cache for future updates."""
+        block = self.amap.block_of(word_addr)
+        offset = self.amap.offset_of(word_addr)
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        line = self.node.cache.lookup(block, now=self.sim.now)
+        if line is not None:
+            self.stats.counters.add("wu.read_hits")
+            return line.read_word(offset)
+        self.stats.counters.add("wu.read_misses")
+        yield from self._evict_for(block)
+        home = self.amap.home_of(block)
+        ev = self.expect(("c:data", block))
+        self.send(home, MessageType.READ_MISS, addr=block)
+        words = yield ev
+        line, _ = self.node.cache.install(block, words, LineState.SHARED, now=self.sim.now)
+        return line.read_word(offset)
+
+    def write(self, word_addr: int, value: int):
+        """Write-through-update: home pushes the word to all sharers."""
+        block = self.amap.block_of(word_addr)
+        offset = self.amap.offset_of(word_addr)
+        self.stats.counters.add("wu.writes")
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        line = self.node.cache.peek(block)
+        if line is not None:
+            line.write_word(offset, value, dirty=False)  # write-through: clean
+        home = self.amap.home_of(block)
+        ev = self.expect(("c:wuack", word_addr))
+        self.send(home, MessageType.WU_WRITE, addr=block, word=word_addr, value=value)
+        yield ev
+
+    def rmw(self, word_addr: int, op: str, operand=None):
+        """Atomic at home; the new value is pushed to sharers like a write."""
+        self.stats.counters.add("wu.rmw")
+        block = self.amap.block_of(word_addr)
+        home = self.amap.home_of(block)
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        ev = self.expect(("c:rmw", word_addr))
+        self.send(home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand)
+        old = yield ev
+        return old
+
+    def watch_invalidation(self, block: int) -> Event:
+        """Event fired when ``block``'s local copy next *changes*.
+
+        Under write-update nothing is invalidated; spin loops wait for the
+        pushed update instead.  The method keeps the WBI name so the
+        software locks in :mod:`repro.sync.swlock` run unchanged on either
+        machine.
+        """
+        ev = Event(self.sim, name=f"chg-watch({block})")
+        self._change_watchers.setdefault(block, []).append(ev)
+        return ev
+
+    # -- internals ----------------------------------------------------------
+    def _evict_for(self, block: int):
+        victim = self.node.cache.victim_for(block)
+        if victim is None or not victim.valid:
+            return
+        # Copies are always clean (write-through); just deregister.
+        self.stats.counters.add("wu.evictions")
+        self.send(
+            self.amap.home_of(victim.block), MessageType.WU_EVICT, addr=victim.block
+        )
+        self._notify_change(victim.block)
+        victim.invalidate()
+        return
+        yield  # pragma: no cover - generator form kept for symmetry
+
+    def _notify_change(self, block: int) -> None:
+        watchers = self._change_watchers.pop(block, None)
+        if watchers:
+            for ev in watchers:
+                ev.succeed()
+
+    # -- handlers ----------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        mt = msg.mtype
+        if mt is MessageType.DATA_BLOCK:
+            self.resolve(("c:data", msg.addr), msg.info["words"])
+        elif mt is MessageType.WU_UPDATE:
+            line = self.node.cache.peek(msg.addr)
+            if line is not None:
+                self.stats.counters.add("wu.updates_received")
+                line.write_word(
+                    self.amap.offset_of(msg.info["word"]), msg.info["value"], dirty=False
+                )
+            self._notify_change(msg.addr)
+        elif mt is MessageType.WU_ACK:
+            self.resolve(("c:wuack", msg.info["word"]))
+        elif mt is MessageType.RMW_REPLY:
+            self.resolve(("c:rmw", msg.info["word"]), msg.info["old"])
+        else:  # pragma: no cover - wiring error
+            raise RuntimeError(f"WU cache controller got {msg!r}")
+
+
+class WUHomeController(Controller):
+    """Home-side write-update engine: sharer registry + update fan-out."""
+
+    REQUEST_TYPES = frozenset(
+        {
+            MessageType.READ_MISS,
+            MessageType.WU_WRITE,
+            MessageType.WU_EVICT,
+            MessageType.RMW_REQ,
+        }
+    )
+    IN_TYPES = REQUEST_TYPES
+
+    def handle(self, msg: Message) -> None:
+        entry = self.node.directory.entry(msg.addr)
+        if entry.busy:
+            entry.defer(msg)
+            return
+        entry.busy = True
+        handler = {
+            MessageType.READ_MISS: self._h_read_miss,
+            MessageType.WU_WRITE: self._h_write,
+            MessageType.WU_EVICT: self._h_evict,
+            MessageType.RMW_REQ: self._h_rmw,
+        }[msg.mtype]
+        self.sim.process(handler(msg, entry), name=f"wu-home-{msg.mtype.name}-{msg.addr}")
+
+    def _done(self, entry) -> None:
+        entry.busy = False
+        nxt = entry.pop_deferred()
+        if nxt is not None:
+            self.handle(nxt)
+
+    def _h_read_miss(self, msg: Message, entry):
+        yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
+        entry.sharers.add(msg.src)
+        words = self.node.memory.read_block(entry.block)
+        self.send(msg.src, MessageType.DATA_BLOCK, addr=entry.block, words=words)
+        self._done(entry)
+
+    def _push_update(self, entry, word: int, value: int, exclude: int) -> int:
+        targets = [s for s in entry.sharers if s != exclude]
+        for t in targets:
+            self.send(t, MessageType.WU_UPDATE, addr=entry.block, word=word, value=value)
+        if targets:
+            self.stats.counters.add("wu.pushes", len(targets))
+        return len(targets)
+
+    def _h_write(self, msg: Message, entry):
+        yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
+        word, value = msg.info["word"], msg.info["value"]
+        self.node.memory.write_word(word, value)
+        self._push_update(entry, word, value, exclude=msg.src)
+        self.send(msg.src, MessageType.WU_ACK, addr=entry.block, word=word)
+        self._done(entry)
+
+    def _h_evict(self, msg: Message, entry):
+        yield self.sim.timeout(self.cfg.dir_cycle)
+        entry.sharers.discard(msg.src)
+        self._done(entry)
+
+    def _h_rmw(self, msg: Message, entry):
+        yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
+        word = msg.info["word"]
+        mem = self.node.memory
+        old = mem.read_word(word)
+        new = apply_rmw(msg.info["op"], old, msg.info["operand"])
+        mem.write_word(word, new)
+        self._push_update(entry, word, new, exclude=-1)
+        self.send(msg.src, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
+        self._done(entry)

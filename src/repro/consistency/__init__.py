@@ -1,0 +1,19 @@
+"""Memory consistency models: SC, buffered consistency (paper), WO, RC."""
+
+from .models import (
+    BufferedConsistency,
+    ConsistencyModel,
+    ReleaseConsistency,
+    SequentialConsistency,
+    WeakOrdering,
+    get_model,
+)
+
+__all__ = [
+    "ConsistencyModel",
+    "SequentialConsistency",
+    "BufferedConsistency",
+    "WeakOrdering",
+    "ReleaseConsistency",
+    "get_model",
+]

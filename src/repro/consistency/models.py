@@ -1,0 +1,148 @@
+"""Memory consistency models (Section 2).
+
+The model governs how a processor issues *shared* writes and what it must
+wait for around synchronization operations:
+
+``SC`` (sequential consistency)
+    Every shared write stalls the processor until globally performed.
+
+``BC`` (buffered consistency — the paper's model)
+    Shared writes are buffered global writes (no stall).  NP-Synch
+    operations (lock acquire) proceed immediately; CP-Synch operations
+    (unlock, barrier) are preceded by FLUSH-BUFFER.  The releasing
+    processor does not wait for the synchronization operation itself to be
+    globally performed.
+
+``WO`` (weak ordering, Dubois et al.)
+    Like BC, but *every* synchronization operation is a full fence: the
+    write buffer is flushed before acquires too, and releases wait for the
+    home's completion ack.
+
+``RC`` (release consistency)
+    Acquires need no flush; releases flush first and wait for the
+    completion ack.  The difference from BC is exactly the paper's point:
+    BC lets the releaser continue without waiting for the release to be
+    globally performed.
+
+On a WBI machine (no write buffer) shared writes are coherent writes,
+which are strongly ordered by construction; the models then only differ in
+their (vacuous) fences.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node.processor import Processor
+
+__all__ = [
+    "ConsistencyModel",
+    "SequentialConsistency",
+    "BufferedConsistency",
+    "WeakOrdering",
+    "ReleaseConsistency",
+    "get_model",
+]
+
+
+class ConsistencyModel:
+    """Base policy: strongly ordered (safe) defaults."""
+
+    name = "base"
+    #: Flush the write buffer before an acquire (NP-Synch) operation.
+    flush_before_acquire = False
+    #: Flush the write buffer before a release/barrier (CP-Synch) operation.
+    flush_before_release = True
+    #: Wait for the home to confirm a release was processed.
+    release_wants_ack = False
+    #: Stall on every shared write until globally performed.
+    stall_on_shared_write = True
+
+    def shared_write(self, proc: "Processor", addr: int, value: int):
+        """Issue one shared write under this model."""
+        node = proc.node
+        if node.write_buffer is None:
+            # WBI machine: coherent writes are already strongly consistent.
+            yield from proc.data.write(addr, value)
+            return
+        yield from proc.data.write_global(addr, value)
+        if self.stall_on_shared_write:
+            yield node.write_buffer.flush()
+
+    def fence(self, proc: "Processor"):
+        """Drain pending global writes (no-op without a write buffer)."""
+        if proc.node.write_buffer is not None:
+            yield proc.node.write_buffer.flush()
+        else:
+            return
+            yield  # pragma: no cover
+
+    def pre_acquire(self, proc: "Processor"):
+        if self.flush_before_acquire:
+            yield from self.fence(proc)
+
+    def pre_release(self, proc: "Processor"):
+        if self.flush_before_release:
+            yield from self.fence(proc)
+
+    def pre_barrier(self, proc: "Processor"):
+        # Barriers are CP-Synch: same requirement as releases.
+        if self.flush_before_release:
+            yield from self.fence(proc)
+
+
+class SequentialConsistency(ConsistencyModel):
+    """Lamport SC: one memory operation at a time, in program order."""
+
+    name = "sc"
+    stall_on_shared_write = True
+    flush_before_acquire = False  # nothing is ever pending
+    flush_before_release = False
+    release_wants_ack = False
+
+
+class BufferedConsistency(ConsistencyModel):
+    """The paper's model: buffer shared writes; flush only before CP-Synch."""
+
+    name = "bc"
+    stall_on_shared_write = False
+    flush_before_acquire = False
+    flush_before_release = True
+    release_wants_ack = False
+
+
+class WeakOrdering(ConsistencyModel):
+    """Dubois et al.: every synchronization access is a full fence."""
+
+    name = "wo"
+    stall_on_shared_write = False
+    flush_before_acquire = True
+    flush_before_release = True
+    release_wants_ack = True
+
+
+class ReleaseConsistency(ConsistencyModel):
+    """Gharachorloo et al.: fences on release only, release fully performed."""
+
+    name = "rc"
+    stall_on_shared_write = False
+    flush_before_acquire = False
+    flush_before_release = True
+    release_wants_ack = True
+
+
+_MODELS = {
+    "sc": SequentialConsistency,
+    "bc": BufferedConsistency,
+    "wo": WeakOrdering,
+    "rc": ReleaseConsistency,
+}
+
+
+def get_model(name: str) -> ConsistencyModel:
+    """Instantiate a consistency model by name ('sc', 'bc', 'wo', 'rc')."""
+    try:
+        return _MODELS[name]()
+    except KeyError:
+        raise ValueError(f"unknown consistency model {name!r}; choose from {sorted(_MODELS)}")

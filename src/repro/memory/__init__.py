@@ -1,0 +1,14 @@
+"""Distributed main memory: address mapping, modules, and the central directory."""
+
+from .address import AddressMap
+from .directory import Directory, DirectoryEntry, DirState, Usage
+from .module import MemoryModule
+
+__all__ = [
+    "AddressMap",
+    "MemoryModule",
+    "Directory",
+    "DirectoryEntry",
+    "DirState",
+    "Usage",
+]

@@ -1,0 +1,58 @@
+"""Address arithmetic: words, blocks, and home-node interleaving.
+
+The simulated machine uses flat word addresses.  A *block* (cache line)
+holds ``words_per_block`` consecutive words.  Main memory is partitioned
+among the nodes block-interleaved: block ``b`` lives on node
+``b mod n_nodes`` (the paper distributes the memory modules among the nodes
+and leaves the mapping unspecified; interleaving is the standard choice and
+spreads hotspot-free traffic evenly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressMap"]
+
+
+@dataclass(frozen=True, slots=True)
+class AddressMap:
+    """Maps word addresses to (block, offset) and blocks to home nodes."""
+
+    n_nodes: int
+    words_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if self.words_per_block <= 0:
+            raise ValueError("words_per_block must be positive")
+
+    def block_of(self, word_addr: int) -> int:
+        """The block containing ``word_addr``."""
+        if word_addr < 0:
+            raise ValueError("addresses are non-negative")
+        return word_addr // self.words_per_block
+
+    def offset_of(self, word_addr: int) -> int:
+        """Word offset of ``word_addr`` within its block."""
+        if word_addr < 0:
+            raise ValueError("addresses are non-negative")
+        return word_addr % self.words_per_block
+
+    def word_addr(self, block: int, offset: int = 0) -> int:
+        """First (or ``offset``-th) word address of ``block``."""
+        if not 0 <= offset < self.words_per_block:
+            raise ValueError(f"offset {offset} out of block")
+        return block * self.words_per_block + offset
+
+    def home_of(self, block: int) -> int:
+        """The node hosting ``block``'s memory module and directory entry."""
+        if block < 0:
+            raise ValueError("blocks are non-negative")
+        return block % self.n_nodes
+
+    def words_of(self, block: int) -> range:
+        """All word addresses within ``block``."""
+        start = block * self.words_per_block
+        return range(start, start + self.words_per_block)

@@ -1,0 +1,72 @@
+"""A main-memory module: word storage plus access timing.
+
+One module per node (distributed memory).  Values are tracked so the
+verification layer can check that protocols never lose or corrupt data —
+the per-word dirty bits exist precisely to prevent the delayed-write
+lost-update problem the paper describes in Section 3 item 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .address import AddressMap
+
+__all__ = ["MemoryModule"]
+
+
+class MemoryModule:
+    """Word-addressable storage for the blocks homed at one node."""
+
+    __slots__ = ("node_id", "amap", "_words", "cycle_time")
+
+    def __init__(self, node_id: int, amap: AddressMap, cycle_time: int = 4):
+        if cycle_time <= 0:
+            raise ValueError("cycle_time must be positive")
+        self.node_id = node_id
+        self.amap = amap
+        self.cycle_time = cycle_time
+        self._words: Dict[int, int] = {}
+
+    def _check_home(self, block: int) -> None:
+        if self.amap.home_of(block) != self.node_id:
+            raise ValueError(
+                f"block {block} is homed at node {self.amap.home_of(block)}, "
+                f"not node {self.node_id}"
+            )
+
+    # -- word access -------------------------------------------------------
+    def read_word(self, word_addr: int) -> int:
+        self._check_home(self.amap.block_of(word_addr))
+        return self._words.get(word_addr, 0)
+
+    def write_word(self, word_addr: int, value: int) -> None:
+        self._check_home(self.amap.block_of(word_addr))
+        self._words[word_addr] = value
+
+    # -- block access --------------------------------------------------------
+    def read_block(self, block: int) -> List[int]:
+        """All words of ``block`` in offset order."""
+        self._check_home(block)
+        return [self._words.get(w, 0) for w in self.amap.words_of(block)]
+
+    def write_block(self, block: int, words: List[int]) -> None:
+        """Overwrite all words of ``block``."""
+        self._check_home(block)
+        addrs = self.amap.words_of(block)
+        if len(words) != len(addrs):
+            raise ValueError("word count does not match block size")
+        for addr, value in zip(addrs, words):
+            self._words[addr] = value
+
+    def write_dirty_words(self, block: int, words: List[int], dirty_mask: int) -> None:
+        """Merge only the dirty words of ``block`` (per-word dirty bits).
+
+        This is the write-back path that makes concurrent writers to
+        *different* words of one block safe under buffered consistency: each
+        writer's write-back touches only the words it actually modified.
+        """
+        self._check_home(block)
+        for i, addr in enumerate(self.amap.words_of(block)):
+            if dirty_mask & (1 << i):
+                self._words[addr] = words[i]

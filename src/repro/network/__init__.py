@@ -1,0 +1,29 @@
+"""Interconnection networks: Omega (paper default), bus, crossbar."""
+
+from .bus import BusNetwork
+from .crossbar import CrossbarNetwork
+from .mesh import MeshNetwork, mesh_dims, xy_route
+from .message import Message, MessageType, SizeClass, flit_size
+from .omega import BufferedOmegaNetwork, OmegaNetwork
+from .routing import is_power_of_two, num_stages, omega_path_switches, omega_route
+from .topology import Interconnect, NetworkParams
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "SizeClass",
+    "flit_size",
+    "Interconnect",
+    "NetworkParams",
+    "OmegaNetwork",
+    "BufferedOmegaNetwork",
+    "BusNetwork",
+    "CrossbarNetwork",
+    "MeshNetwork",
+    "mesh_dims",
+    "xy_route",
+    "omega_route",
+    "omega_path_switches",
+    "num_stages",
+    "is_power_of_two",
+]

@@ -1,0 +1,197 @@
+"""Network messages exchanged between nodes and memory/directory controllers.
+
+Message *categories* determine the size on the wire, mirroring the paper's
+cost constants:
+
+====================  =======================================  ==========
+category              paper constant                           flits
+====================  =======================================  ==========
+control               C_R  (transaction carrying no data)      1
+invalidation          C_I  (invalidation)                      1
+word                  C_W  (word transfer)                     1 + 1
+block                 C_B  (block transfer)                    1 + B
+====================  =======================================  ==========
+
+where B is the number of words per block.  A flit is one network transfer
+unit; the header costs one flit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Dict
+
+__all__ = ["MessageType", "Message", "SizeClass", "flit_size"]
+
+
+class SizeClass(Enum):
+    """Wire-size category of a message (maps to the paper's cost constants)."""
+
+    CONTROL = auto()  # C_R
+    INVALIDATION = auto()  # C_I
+    WORD = auto()  # C_W
+    BLOCK = auto()  # C_B
+
+
+class MessageType(Enum):
+    """All message kinds used by the coherence, memory, and sync protocols."""
+
+    # -- plain cache coherence (WBI baseline) -----------------------------
+    READ_MISS = auto()  # cache -> home: need block (shared)
+    WRITE_MISS = auto()  # cache -> home: need block exclusive
+    UPGRADE = auto()  # cache -> home: have shared copy, need exclusive
+    INV = auto()  # home -> sharer: invalidate
+    INV_ACK = auto()  # sharer -> home: invalidated
+    FETCH = auto()  # home -> owner: send block back (another node read)
+    FETCH_INV = auto()  # home -> owner: send block back and invalidate
+    FETCH_REPLY = auto()  # owner -> home: block data answering a FETCH
+    DATA_BLOCK = auto()  # block payload (home->cache or cache->cache)
+    DATA_BLOCK_EXCL = auto()  # block payload granting exclusive
+    WRITEBACK = auto()  # cache -> home: dirty block on eviction
+    WRITEBACK_ACK = auto()  # home -> cache
+    UPGRADE_ACK = auto()  # home -> cache: exclusivity granted (no data)
+
+    # -- Table 1 primitives ------------------------------------------------
+    READ_GLOBAL = auto()  # cache -> home: read bypassing cache
+    READ_GLOBAL_REPLY = auto()  # home -> cache: word reply
+    GLOBAL_WRITE = auto()  # write buffer -> home: word write (WRITE-GLOBAL)
+    GLOBAL_WRITE_ACK = auto()  # home -> write buffer
+
+    # -- reader-initiated coherence (READ-UPDATE) ---------------------------
+    RU_REQ = auto()  # cache -> home: read + subscribe to updates
+    RU_DATA = auto()  # block carrying the subscription reply
+    RU_UPDATE = auto()  # home -> subscriber: updated block propagation
+    RU_UPDATE_FWD = auto()  # subscriber -> next subscriber (down the list)
+    RESET_UPDATE = auto()  # cache -> home: unsubscribe
+    RESET_UPDATE_ACK = auto()  # home -> cache: unsubscribed
+    RU_UNLINK = auto()  # home/cache -> neighbour: fix linked list
+    RU_ACK = auto()  # last subscriber -> home: propagation complete
+
+    # -- cache-based locking (CBL) ------------------------------------------
+    LOCK_REQ_READ = auto()  # cache -> home: READ-LOCK
+    LOCK_REQ_WRITE = auto()  # cache -> home: WRITE-LOCK
+    LOCK_FWD = auto()  # home -> current tail: chain the new requester
+    LOCK_GRANT = auto()  # grant + data block
+    LOCK_WAIT = auto()  # tail -> requester: you are queued, spin locally
+    LOCK_RELEASE = auto()  # holder -> home: UNLOCK (carries dirty data)
+    UNLOCK_RELEASE = auto()  # grant passed to the successor (carries data)
+    QUEUE_SPLICE = auto()  # fix doubly-linked list on mid-queue departure
+    QUEUE_ACK = auto()  # ack for splice / queue maintenance
+    LOCK_WRITEBACK = auto()  # locked line flushed to memory on final release
+
+    # -- sender-initiated write-update protocol (Dragon/Firefly comparator) --
+    WU_WRITE = auto()  # cache -> home: write-through word
+    WU_UPDATE = auto()  # home -> sharer: pushed word update
+    WU_ACK = auto()  # home -> writer: write globally performed
+    WU_EVICT = auto()  # cache -> home: deregister a replaced clean copy
+
+    # -- hardware semaphores (P is NP-Synch, V is CP-Synch) ------------------
+    SEM_P = auto()  # processor -> home: P (down)
+    SEM_V = auto()  # processor -> home: V (up)
+    SEM_GRANT = auto()  # home -> processor: P granted
+    SEM_ACK = auto()  # home -> processor: V processed (optional)
+
+    # -- synchronization over plain memory (software locks, barriers) -------
+    RMW_REQ = auto()  # atomic read-modify-write request (test&set, fetch&add)
+    RMW_REPLY = auto()  # word reply
+    BARRIER_ARRIVE = auto()  # processor -> barrier home
+    BARRIER_ACK = auto()  # barrier home -> processor: arrival recorded
+    BARRIER_RELEASE = auto()  # barrier home -> processor
+
+
+#: Default mapping from message type to wire-size class.
+_SIZE_CLASS: Dict[MessageType, SizeClass] = {
+    MessageType.READ_MISS: SizeClass.CONTROL,
+    MessageType.WRITE_MISS: SizeClass.CONTROL,
+    MessageType.UPGRADE: SizeClass.CONTROL,
+    MessageType.INV: SizeClass.INVALIDATION,
+    MessageType.INV_ACK: SizeClass.CONTROL,
+    MessageType.FETCH: SizeClass.CONTROL,
+    MessageType.FETCH_INV: SizeClass.CONTROL,
+    MessageType.FETCH_REPLY: SizeClass.BLOCK,
+    MessageType.DATA_BLOCK: SizeClass.BLOCK,
+    MessageType.DATA_BLOCK_EXCL: SizeClass.BLOCK,
+    MessageType.WRITEBACK: SizeClass.BLOCK,
+    MessageType.WRITEBACK_ACK: SizeClass.CONTROL,
+    MessageType.UPGRADE_ACK: SizeClass.CONTROL,
+    MessageType.READ_GLOBAL: SizeClass.CONTROL,
+    MessageType.READ_GLOBAL_REPLY: SizeClass.WORD,
+    MessageType.GLOBAL_WRITE: SizeClass.WORD,
+    MessageType.GLOBAL_WRITE_ACK: SizeClass.CONTROL,
+    MessageType.RU_REQ: SizeClass.CONTROL,
+    MessageType.RU_DATA: SizeClass.BLOCK,
+    MessageType.RU_UPDATE: SizeClass.BLOCK,
+    MessageType.RU_UPDATE_FWD: SizeClass.BLOCK,
+    MessageType.RESET_UPDATE: SizeClass.CONTROL,
+    MessageType.RESET_UPDATE_ACK: SizeClass.CONTROL,
+    MessageType.RU_UNLINK: SizeClass.CONTROL,
+    MessageType.RU_ACK: SizeClass.CONTROL,
+    MessageType.LOCK_REQ_READ: SizeClass.CONTROL,
+    MessageType.LOCK_REQ_WRITE: SizeClass.CONTROL,
+    MessageType.LOCK_FWD: SizeClass.CONTROL,
+    MessageType.LOCK_GRANT: SizeClass.BLOCK,
+    MessageType.LOCK_WAIT: SizeClass.CONTROL,
+    MessageType.LOCK_RELEASE: SizeClass.BLOCK,
+    MessageType.UNLOCK_RELEASE: SizeClass.BLOCK,
+    MessageType.QUEUE_SPLICE: SizeClass.CONTROL,
+    MessageType.QUEUE_ACK: SizeClass.CONTROL,
+    MessageType.LOCK_WRITEBACK: SizeClass.BLOCK,
+    MessageType.WU_WRITE: SizeClass.WORD,
+    MessageType.WU_UPDATE: SizeClass.WORD,
+    MessageType.WU_ACK: SizeClass.CONTROL,
+    MessageType.WU_EVICT: SizeClass.CONTROL,
+    MessageType.SEM_P: SizeClass.CONTROL,
+    MessageType.SEM_V: SizeClass.CONTROL,
+    MessageType.SEM_GRANT: SizeClass.CONTROL,
+    MessageType.SEM_ACK: SizeClass.CONTROL,
+    MessageType.RMW_REQ: SizeClass.WORD,
+    MessageType.RMW_REPLY: SizeClass.WORD,
+    MessageType.BARRIER_ARRIVE: SizeClass.CONTROL,
+    MessageType.BARRIER_ACK: SizeClass.CONTROL,
+    MessageType.BARRIER_RELEASE: SizeClass.CONTROL,
+}
+
+_msg_ids = itertools.count()
+
+
+def flit_size(size_class: SizeClass, words_per_block: int) -> int:
+    """Message size in flits: one header flit plus the payload."""
+    if size_class is SizeClass.BLOCK:
+        return 1 + words_per_block
+    if size_class is SizeClass.WORD:
+        return 2
+    return 1  # CONTROL and INVALIDATION
+
+
+@dataclass(slots=True)
+class Message:
+    """One network message.
+
+    ``src``/``dst`` are node ids (memory controllers share the id of the node
+    hosting that memory module).  ``addr`` is a block address for coherence
+    traffic.  ``info`` carries protocol-specific fields (requester id, lock
+    mode, payload words, ...).
+    """
+
+    src: int
+    dst: int
+    mtype: MessageType
+    addr: int = -1
+    info: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    send_time: float = -1.0
+
+    @property
+    def size_class(self) -> SizeClass:
+        return _SIZE_CLASS[self.mtype]
+
+    def flits(self, words_per_block: int) -> int:
+        return flit_size(self.size_class, words_per_block)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.mtype.name} {self.src}->{self.dst}"
+            f" addr={self.addr} id={self.msg_id})"
+        )

@@ -1,0 +1,126 @@
+"""Multistage Omega interconnect with 2x2 switches.
+
+Two variants:
+
+:class:`OmegaNetwork`
+    The paper's configuration — infinite switch buffers.  Because each
+    output wire is then an unbounded FIFO server, per-message departure
+    times can be computed *analytically* (``depart = max(arrive, busy_until)
+    + service``), so no simulation processes are spawned per message.  This
+    is exact for FIFO store-and-forward with infinite buffers and makes the
+    network model extremely cheap.
+
+:class:`BufferedOmegaNetwork`
+    Finite per-port buffers with backpressure (an ablation the paper leaves
+    open): each wire becomes a process-driven store-and-forward server and a
+    full port blocks the upstream stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.core import Simulator
+from ..sim.resources import Store
+from .message import Message
+from .routing import num_stages, omega_route
+from .topology import Interconnect, NetworkParams
+
+__all__ = ["OmegaNetwork", "BufferedOmegaNetwork"]
+
+
+class OmegaNetwork(Interconnect):
+    """Omega network with infinite switch buffers (analytic contention)."""
+
+    def __init__(self, sim: Simulator, n_nodes: int, params: Optional[NetworkParams] = None):
+        super().__init__(sim, n_nodes, params)
+        self.stages = num_stages(n_nodes)
+        # busy_until[stage][wire]: the time this output wire frees up.
+        self._busy_until: List[List[float]] = [
+            [0.0] * n_nodes for _ in range(self.stages)
+        ]
+        self._wire_busy_time: List[List[float]] = [
+            [0.0] * n_nodes for _ in range(self.stages)
+        ]
+
+    def _route(self, msg: Message, flits: int) -> None:
+        service = self.params.switch_cycle * flits
+        t = self.sim.now
+        wires = omega_route(msg.src, msg.dst, self.n_nodes)
+        queued = 0.0
+        for stage, wire in enumerate(wires):
+            row = self._busy_until[stage]
+            start = row[wire]
+            if start < t:
+                start = t
+            else:
+                queued += start - t
+            depart = start + service
+            row[wire] = depart
+            self._wire_busy_time[stage][wire] += service
+            t = depart
+        self.stats.observe("queueing", queued)
+        self.stats.counters.add("stage_traversals", self.stages)
+        self._deliver_after(msg, t - self.sim.now)
+
+    # -- reporting ----------------------------------------------------------
+    def uncontended_latency(self, flits: int) -> int:
+        """End-to-end latency of an f-flit message through an idle network."""
+        return self.stages * self.params.switch_cycle * flits
+
+    def wire_utilization(self, until: Optional[float] = None) -> float:
+        """Mean fraction of time output wires were busy."""
+        horizon = self.sim.now if until is None else until
+        if horizon <= 0:
+            return 0.0
+        total = sum(sum(row) for row in self._wire_busy_time)
+        return total / (horizon * self.stages * self.n_nodes)
+
+
+class BufferedOmegaNetwork(Interconnect):
+    """Omega network with finite per-wire buffers and backpressure.
+
+    Each output wire of each stage is a bounded :class:`Store` drained by a
+    dedicated switch process.  When a downstream buffer is full, the
+    upstream server blocks holding its own wire — head-of-line blocking and
+    tree saturation become observable, which is the point of the ablation.
+    """
+
+    def __init__(self, sim: Simulator, n_nodes: int, params: Optional[NetworkParams] = None):
+        super().__init__(sim, n_nodes, params)
+        self.stages = num_stages(n_nodes)
+        cap = self.params.buffer_capacity
+        self._ports: List[Dict[int, Store]] = [dict() for _ in range(self.stages)]
+        self._port_started: List[Dict[int, bool]] = [dict() for _ in range(self.stages)]
+        self._cap = cap
+
+    def _port(self, stage: int, wire: int) -> Store:
+        store = self._ports[stage].get(wire)
+        if store is None:
+            store = Store(self.sim, capacity=self._cap, name=f"omega[{stage}][{wire}]")
+            self._ports[stage][wire] = store
+            self.sim.process(self._serve(stage, wire, store), name=f"omega-srv-{stage}-{wire}")
+        return store
+
+    def _route(self, msg: Message, flits: int) -> None:
+        wires = omega_route(msg.src, msg.dst, self.n_nodes)
+        entry = self._port(0, wires[0])
+        self.sim.process(self._inject(entry, msg, wires, flits))
+
+    def _inject(self, entry: Store, msg: Message, wires, flits: int):
+        yield entry.put((msg, wires, flits))
+
+    def _serve(self, stage: int, wire: int, store: Store):
+        sim = self.sim
+        while True:
+            msg, wires, flits = yield store.get()
+            # Occupy this wire for the store-and-forward service time.
+            yield sim.timeout(self.params.switch_cycle * flits)
+            next_stage = stage + 1
+            if next_stage >= self.stages:
+                self.stats.counters.add("stage_traversals", self.stages)
+                self._deliver_after(msg, 0)
+            else:
+                nxt = self._port(next_stage, wires[next_stage])
+                # Blocks (holding this server) if the downstream buffer is full.
+                yield nxt.put((msg, wires, flits))

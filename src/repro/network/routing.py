@@ -1,0 +1,58 @@
+"""Destination-tag routing for the multistage Omega network.
+
+An N-node Omega network (N a power of two) has ``k = log2 N`` stages of
+``N/2`` two-by-two switches with a perfect-shuffle interconnection between
+stages.  Routing is destination-tag: at stage ``i`` the switch routes the
+message to its upper/lower output according to bit ``k-1-i`` of the
+destination address (MSB first).
+
+The *wire label* occupied after stage ``i`` is obtained by the classic
+shift-register recurrence::
+
+    v_0 = src
+    v_{i+1} = ((v_i << 1) mod N) | bit_{k-1-i}(dst)
+
+Two messages conflict at stage ``i`` exactly when they occupy the same wire
+label there, which is what the contention model keys on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["is_power_of_two", "num_stages", "omega_route", "omega_path_switches"]
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def num_stages(n_nodes: int) -> int:
+    """Number of switch stages in an N-node Omega network."""
+    if not is_power_of_two(n_nodes):
+        raise ValueError(f"Omega network size must be a power of two, got {n_nodes}")
+    return n_nodes.bit_length() - 1
+
+
+def omega_route(src: int, dst: int, n_nodes: int) -> List[int]:
+    """Wire labels occupied after each stage on the path ``src -> dst``.
+
+    Returns a list of length ``log2(n_nodes)``; element ``i`` is the output
+    wire of stage ``i``.  The final element always equals ``dst``.
+    """
+    k = num_stages(n_nodes)
+    if not 0 <= src < n_nodes or not 0 <= dst < n_nodes:
+        raise ValueError("src/dst out of range")
+    mask = n_nodes - 1
+    v = src
+    wires = []
+    for i in range(k):
+        bit = (dst >> (k - 1 - i)) & 1
+        v = ((v << 1) & mask) | bit
+        wires.append(v)
+    return wires
+
+
+def omega_path_switches(src: int, dst: int, n_nodes: int) -> List[int]:
+    """Switch indices visited per stage (wire label with the LSB dropped)."""
+    return [w >> 1 for w in omega_route(src, dst, n_nodes)]

@@ -1,0 +1,122 @@
+"""Interconnect base class and shared delivery machinery.
+
+An interconnect accepts :class:`~repro.network.message.Message` objects and
+delivers them to per-node handlers after a modeled latency that accounts for
+topology and contention.  Local traffic (``src == dst``) bypasses the network
+entirely (the node's memory module sits on the node), costing only
+``params.local_delivery`` cycles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..sim.core import Simulator
+from ..sim.stats import StatSet
+from .message import Message
+
+__all__ = ["NetworkParams", "Interconnect", "DeliveryHandler"]
+
+DeliveryHandler = Callable[[Message], None]
+
+
+@dataclass(slots=True)
+class NetworkParams:
+    """Timing/shape parameters of the interconnect.
+
+    ``switch_cycle``
+        Cycles for one flit to cross one switch stage (store-and-forward per
+        stage: a message of f flits occupies a stage port for
+        ``switch_cycle * f`` cycles).
+    ``words_per_block``
+        Block size in words; fixes the flit size of block messages.
+    ``local_delivery``
+        Cycles to deliver a message whose source and destination coincide.
+    ``buffer_capacity``
+        Per-port buffer capacity in messages; ``None`` = infinite (the
+        paper's assumption).  Only the buffered Omega variant honours this.
+    """
+
+    switch_cycle: int = 1
+    words_per_block: int = 4
+    local_delivery: int = 1
+    buffer_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.switch_cycle <= 0:
+            raise ValueError("switch_cycle must be positive")
+        if self.words_per_block <= 0:
+            raise ValueError("words_per_block must be positive")
+        if self.local_delivery < 0:
+            raise ValueError("local_delivery must be non-negative")
+
+
+class Interconnect(ABC):
+    """Base interconnect: attach handlers, send messages, collect stats."""
+
+    def __init__(self, sim: Simulator, n_nodes: int, params: Optional[NetworkParams] = None):
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.params = params or NetworkParams()
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self.stats = StatSet()
+
+    # -- wiring ---------------------------------------------------------
+    def attach(self, node_id: int, handler: DeliveryHandler) -> None:
+        """Register the delivery callback for ``node_id``."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node id {node_id} out of range")
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already attached")
+        self._handlers[node_id] = handler
+
+    # -- sending ----------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Inject ``msg``; it will be delivered to the destination handler."""
+        if not 0 <= msg.dst < self.n_nodes:
+            raise ValueError(f"destination {msg.dst} out of range")
+        if not 0 <= msg.src < self.n_nodes:
+            raise ValueError(f"source {msg.src} out of range")
+        msg.send_time = self.sim.now
+        flits = msg.flits(self.params.words_per_block)
+        self.stats.counters.add("messages")
+        self.stats.counters.add(f"msg.{msg.mtype.name}")
+        self.stats.counters.add("flits", flits)
+        if msg.src == msg.dst:
+            self.stats.counters.add("local_messages")
+            self._deliver_after(msg, self.params.local_delivery)
+            return
+        self._route(msg, flits)
+
+    @abstractmethod
+    def _route(self, msg: Message, flits: int) -> None:
+        """Topology-specific routing; must end in :meth:`_deliver_after`."""
+
+    # -- delivery ----------------------------------------------------------
+    def _deliver_after(self, msg: Message, delay: float) -> None:
+        ev = self.sim.timeout(delay, value=msg)
+        ev.callbacks.append(self._on_arrival)
+
+    def _on_arrival(self, ev) -> None:
+        msg: Message = ev.value
+        self.stats.observe("latency", self.sim.now - msg.send_time)
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
+            raise RuntimeError(f"no handler attached for node {msg.dst}")
+        handler(msg)
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def message_count(self) -> int:
+        return self.stats.counters["messages"]
+
+    @property
+    def mean_latency(self) -> float:
+        return self.stats.tally("latency").mean
+
+    def count_of(self, mtype) -> int:
+        return self.stats.counters[f"msg.{mtype.name}"]

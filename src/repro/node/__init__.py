@@ -1,0 +1,6 @@
+"""Node assembly: the per-node hardware and the processor API."""
+
+from .node import Node
+from .processor import Processor
+
+__all__ = ["Node", "Processor"]

@@ -1,0 +1,76 @@
+"""A node: processor-side caches, write buffer, memory module, directory,
+and the protocol controllers, glued to the interconnect.
+
+Figure 1 of the paper: each node hosts a processor, a private cache with
+its cache directory, a write buffer, and a network controller; main memory
+(with the central directory) is distributed one module per node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from ..cache.cache import SetAssocCache
+from ..cache.lockcache import LockCache
+from ..cache.writebuffer import WriteBuffer
+from ..memory.address import AddressMap
+from ..memory.directory import Directory
+from ..memory.module import MemoryModule
+from ..network.message import Message, MessageType
+from ..network.topology import Interconnect
+from ..sim.core import Event, Simulator
+from ..sim.stats import StatSet
+from ..system.config import MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..coherence.base import Controller
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One multiprocessor node with its controllers and local memory module."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        cfg: MachineConfig,
+        net: Interconnect,
+        amap: AddressMap,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.cfg = cfg
+        self.net = net
+        self.amap = amap
+        self.cache = SetAssocCache(cfg.cache_sets, cfg.cache_assoc, cfg.words_per_block)
+        self.lockcache = LockCache(cfg.lock_cache_size, cfg.words_per_block)
+        self.memory = MemoryModule(node_id, amap, cfg.memory_cycle)
+        self.directory = Directory(node_id)
+        self.stats = StatSet()
+        #: Pending request/reply rendezvous shared by all controllers.
+        self._pending_replies: Dict[Tuple, Event] = {}
+        self._dispatch: Dict[MessageType, "Controller"] = {}
+        #: Write buffer; its issue path is wired by the data protocol
+        #: controller (primitives machine) after construction.
+        self.write_buffer: WriteBuffer | None = None
+        net.attach(node_id, self.deliver)
+
+    def register(self, controller: "Controller") -> None:
+        """Route the controller's message types to it."""
+        for mtype in controller.IN_TYPES:
+            if mtype in self._dispatch:
+                raise ValueError(
+                    f"message type {mtype.name} already handled on node {self.node_id}"
+                )
+            self._dispatch[mtype] = controller
+
+    def deliver(self, msg: Message) -> None:
+        """Network delivery callback."""
+        ctl = self._dispatch.get(msg.mtype)
+        if ctl is None:
+            raise RuntimeError(
+                f"node {self.node_id} has no controller for {msg.mtype.name}"
+            )
+        ctl.handle(msg)

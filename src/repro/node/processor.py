@@ -1,0 +1,158 @@
+"""The processor: the workload-facing API over one node.
+
+A workload is a generator that drives a :class:`Processor`; every method
+here is a generator to be used with ``yield from``.  The processor issues
+the Table 1 hardware primitives through the node's data-protocol
+controller, synchronizes through lock/barrier objects, and applies the
+configured memory consistency model to shared writes and synchronization
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from ..consistency.models import ConsistencyModel, get_model
+from ..sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system.machine import Machine
+
+__all__ = ["Processor"]
+
+
+class Processor:
+    """One workload execution context bound to a node."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        node_id: int,
+        consistency: Union[str, ConsistencyModel] = "sc",
+    ):
+        self.machine = machine
+        self.node_id = node_id
+        self.node = machine.nodes[node_id]
+        self.sim = machine.sim
+        self.model = get_model(consistency) if isinstance(consistency, str) else consistency
+        self.stats = StatSet()
+        machine._processors.append(self)
+        #: The data-protocol controller (WBI or primitives).
+        self.data = self.node.data_ctl
+        #: The cache-based lock engine.
+        self.cbl = self.node.cbl
+        self.barrier_engine = self.node.barrier_engine
+
+    # -- local computation ----------------------------------------------------
+    def compute(self, cycles: float):
+        """Local work for ``cycles`` (no memory traffic)."""
+        self.stats.counters.add("compute_cycles", int(cycles))
+        yield self.sim.timeout(cycles)
+
+    def _timed(self, gen, bucket: str):
+        """Run a sub-operation, charging its duration to a time bucket.
+
+        The buckets (``data_cycles``, ``sync_cycles``) support the paper's
+        point that processor *utilization* is misleading — synchronization
+        "may keep the processor busy without performing any useful
+        computation" — so we account where the cycles actually went.
+        """
+        t0 = self.sim.now
+        value = yield from gen
+        self.stats.counters.add(bucket, int(self.sim.now - t0))
+        return value
+
+    def time_breakdown(self) -> dict:
+        """Cycles spent computing vs waiting on data vs synchronizing."""
+        c = self.stats.counters
+        return {
+            "compute": c["compute_cycles"],
+            "data": c["data_cycles"],
+            "sync": c["sync_cycles"],
+        }
+
+    # -- private data ----------------------------------------------------------
+    def read(self, addr: int):
+        """Private-data read (paper's READ / WBI coherent read)."""
+        self.stats.counters.add("reads")
+        value = yield from self._timed(self.data.read(addr), "data_cycles")
+        return value
+
+    def write(self, addr: int, value: int):
+        """Private-data write (paper's WRITE / WBI coherent write)."""
+        self.stats.counters.add("writes")
+        yield from self._timed(self.data.write(addr, value), "data_cycles")
+
+    # -- shared data under the consistency model -------------------------------
+    def shared_read(self, addr: int):
+        """Read of shared data (cached; consistency via explicit primitives)."""
+        self.stats.counters.add("shared_reads")
+        value = yield from self._timed(self.data.read(addr), "data_cycles")
+        return value
+
+    def shared_write(self, addr: int, value: int):
+        """Write of shared data: global write issued per the memory model."""
+        self.stats.counters.add("shared_writes")
+        yield from self._timed(self.model.shared_write(self, addr, value), "data_cycles")
+
+    # -- explicit Table 1 primitives (primitives machine only) -----------------
+    def _primitive(self, name: str):
+        op = getattr(self.data, name, None)
+        if op is None:
+            raise RuntimeError(
+                f"{name.upper().replace('_', '-')} is a Table 1 primitive; build "
+                f"the machine with protocol='primitives' (this one is "
+                f"'{self.machine.protocol}')"
+            )
+        return op
+
+    def read_global(self, addr: int):
+        value = yield from self._primitive("read_global")(addr)
+        return value
+
+    def write_global(self, addr: int, value: int):
+        yield from self._primitive("write_global")(addr, value)
+
+    def read_update(self, addr: int):
+        value = yield from self._primitive("read_update")(addr)
+        return value
+
+    def reset_update(self, addr: int):
+        yield from self._primitive("reset_update")(addr)
+
+    def flush(self):
+        """FLUSH-BUFFER: wait until all pending global writes complete."""
+        yield from self._primitive("flush_buffer")()
+
+    def rmw(self, addr: int, op: str, operand=None):
+        old = yield from self.data.rmw(addr, op, operand)
+        return old
+
+    # -- synchronization --------------------------------------------------------
+    def acquire(self, lock, mode: str = "write"):
+        """Acquire a lock under the consistency model (NP-Synch)."""
+        self.stats.counters.add("acquires")
+        t0 = self.sim.now
+        yield from self.model.pre_acquire(self)
+        yield from lock.acquire(self, mode)
+        dt = self.sim.now - t0
+        self.stats.observe("acquire_latency", dt)
+        self.stats.counters.add("sync_cycles", int(dt))
+
+    def release(self, lock):
+        """Release a lock under the consistency model (CP-Synch)."""
+        self.stats.counters.add("releases")
+        t0 = self.sim.now
+        yield from self.model.pre_release(self)
+        yield from lock.release(self, want_ack=self.model.release_wants_ack)
+        self.stats.counters.add("sync_cycles", int(self.sim.now - t0))
+
+    def barrier(self, bar):
+        """Barrier synchronization (CP-Synch)."""
+        self.stats.counters.add("barriers")
+        t0 = self.sim.now
+        yield from self.model.pre_barrier(self)
+        yield from bar.wait(self)
+        dt = self.sim.now - t0
+        self.stats.observe("barrier_latency", dt)
+        self.stats.counters.add("sync_cycles", int(dt))

@@ -1,0 +1,356 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast, simpy-style kernel: a binary-heap event calendar plus
+generator-coroutine processes.  One simulator time unit corresponds to one
+processor/cache cycle throughout this package.
+
+The kernel is deliberately small: events, timeouts, processes, and condition
+events (:class:`AllOf` / :class:`AnyOf`).  Queueing abstractions live in
+:mod:`repro.sim.resources`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim):
+...     yield sim.timeout(5)
+...     log.append(sim.now)
+>>> _ = sim.process(proc(sim))
+>>> sim.run()
+>>> log
+[5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (double trigger, yielding junk, ...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the calendar, not yet processed
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` schedules them on
+    the calendar and they become *triggered*; once the kernel pops them and
+    runs their callbacks they are *processed*.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (succeed/fail called)."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (valid once triggered)."""
+        if self._state == _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0) -> "Event":
+        """Schedule this event to fire as a failure after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {self.name or hex(id(self))} {state[self._state]}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.  Created via ``sim.timeout``."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A generator coroutine driven by the kernel.
+
+    The generator yields :class:`Event` instances; the process resumes when
+    the yielded event fires.  The process *is itself an event* that succeeds
+    with the generator's return value, so processes can wait on each other.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim, name=name)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        boot = Event(sim)
+        boot._ok = True
+        boot._state = _TRIGGERED
+        boot.callbacks.append(self._resume)
+        sim._schedule(boot, 0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        if self._waiting_on is not None:
+            # Detach from whatever we were waiting on.
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wake = Event(self.sim)
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        wake._state = _TRIGGERED
+        wake.callbacks.append(self._resume)
+        self.sim._schedule(wake, 0)
+
+    # -- kernel internals --------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            while True:
+                if trigger._ok:
+                    target = self._generator.send(trigger._value)
+                else:
+                    exc = trigger._value
+                    target = self._generator.throw(exc)
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name or self!r} yielded non-event {target!r}"
+                    )
+                if target._state == _PROCESSED:
+                    # Already fired: resume immediately with its value.
+                    trigger = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._waiting_on = target
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:
+            if isinstance(exc, SimulationError):
+                raise
+            # Uncaught exception in process body: fail the process event.  If
+            # nobody is watching, re-raise so bugs do not vanish silently.
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                raise
+        finally:
+            sim._active_process = None
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: fires based on a set of sub-events."""
+
+    __slots__ = ("_events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans multiple simulators")
+        self._pending_count = 0
+        for ev in self._events:
+            if ev._state == _PROCESSED:
+                self._check(ev)
+            else:
+                self._pending_count += 1
+                ev.callbacks.append(self._check)
+        if not self._events and self._state == _PENDING:
+            self.succeed([])
+
+    def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every sub-event has fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value if isinstance(ev._value, BaseException) else SimulationError(str(ev._value)))
+            return
+        self._pending_count -= 1
+        if self._pending_count <= 0 and all(e._state >= _TRIGGERED for e in self._events):
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first sub-event fires; value is ``(event, value)``."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value if isinstance(ev._value, BaseException) else SimulationError(str(ev._value)))
+            return
+        self.succeed((ev, ev._value))
+
+
+class Simulator:
+    """The event calendar and execution loop."""
+
+    __slots__ = ("_heap", "_seq", "now", "_active_process")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        #: Current simulated time (cycles).
+        self.now: float = 0
+        self._active_process: Optional[Process] = None
+
+    # -- factory helpers ----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        t, _seq, event = heapq.heappop(self._heap)
+        self.now = t
+        event._state = _PROCESSED
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the calendar drains, ``until`` time, or ``max_events``.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        The clock only advances to processed events' times — it is never
+        artificially bumped to ``until`` (completion time stays meaningful).
+        """
+        count = 0
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                return
+            self.step()
+            count += 1
+            if max_events is not None and count >= max_events:
+                return

@@ -1,0 +1,48 @@
+"""Deterministic random-number streams for simulation components.
+
+Every stochastic element (each processor's reference stream, each workload's
+task-size draws, ...) draws from its own named stream derived from a single
+master seed, so runs are exactly reproducible and adding a new consumer does
+not perturb existing streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """A factory of independent, named ``numpy.random.Generator`` streams."""
+
+    def __init__(self, master_seed: int = 0):
+        if master_seed < 0:
+            raise ValueError("master_seed must be non-negative")
+        self.master_seed = int(master_seed)
+        self._cache: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the stream for ``name`` (created and cached on first use).
+
+        The stream seed mixes the master seed with a CRC of the name, so the
+        same (master_seed, name) pair always yields the same sequence.
+        """
+        gen = self._cache.get(name)
+        if gen is None:
+            label = zlib.crc32(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self.master_seed, spawn_key=(label,))
+            gen = self._cache[name] = np.random.default_rng(seq)
+        return gen
+
+    def node_stream(self, node_id: int, purpose: str = "refs") -> np.random.Generator:
+        """Convenience: the stream for one node's ``purpose``."""
+        return self.stream(f"node{node_id}:{purpose}")
+
+    def fork(self, salt: str) -> "RngStreams":
+        """A derived stream family (e.g. per-repetition)."""
+        label = zlib.crc32(salt.encode("utf-8"))
+        return RngStreams((self.master_seed * 1000003 + label) % (2**63))

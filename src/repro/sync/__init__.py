@@ -1,0 +1,23 @@
+"""Synchronization: CBL hardware queued locks, hardware barriers, and
+software lock/barrier comparators."""
+
+from .barrier import HardwareBarrierEngine
+from .base import CBLLock, HWBarrier
+from .cbl import CBLEngine
+from .semaphore import HWSemaphore, SemaphoreEngine
+from .swlock import MCSLock, SWBarrier, TicketLock, TSLock, TTSBackoffLock, TTSLock
+
+__all__ = [
+    "CBLEngine",
+    "HardwareBarrierEngine",
+    "SemaphoreEngine",
+    "CBLLock",
+    "HWBarrier",
+    "HWSemaphore",
+    "TSLock",
+    "TTSLock",
+    "TTSBackoffLock",
+    "TicketLock",
+    "MCSLock",
+    "SWBarrier",
+]

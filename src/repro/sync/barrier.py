@@ -1,0 +1,83 @@
+"""Barriers: the hardware (memory-counter) barrier and software comparators.
+
+The hardware barrier matches Table 3's cost profile: each arrival is one
+request plus one ack (``2(t_nw + t_m)``), and the last arriver triggers a
+release fan-out of one message per participant with a directory touch
+between sends (``2 t_nw + (n-1) t_D``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..coherence.base import Controller
+from ..network.message import Message, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node.node import Node
+
+__all__ = ["HardwareBarrierEngine"]
+
+
+class HardwareBarrierEngine(Controller):
+    """Hardware barrier support at both the arriving and home sides."""
+
+    IN_TYPES = frozenset(
+        {
+            MessageType.BARRIER_ARRIVE,
+            MessageType.BARRIER_ACK,
+            MessageType.BARRIER_RELEASE,
+        }
+    )
+
+    # -- participant side ----------------------------------------------------
+    def wait(self, block: int, n: int):
+        """Arrive at the barrier identified by ``block``; resume when all
+        ``n`` participants have arrived."""
+        self.stats.counters.add("barrier.arrivals")
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        home = self.amap.home_of(block)
+        ack = self.expect(("c:bar_ack", block))
+        rel = self.expect(("c:bar_rel", block))
+        self.send(home, MessageType.BARRIER_ARRIVE, addr=block, n=n)
+        yield ack  # arrival recorded in the barrier counter at home
+        yield rel  # all arrived
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        mt = msg.mtype
+        if mt is MessageType.BARRIER_ARRIVE:
+            entry = self.node.directory.entry(msg.addr)
+            if entry.busy:
+                entry.defer(msg)
+                return
+            entry.busy = True
+            self.sim.process(self._h_arrive(msg, entry), name=f"barrier-{msg.addr}")
+        elif mt is MessageType.BARRIER_ACK:
+            self.resolve(("c:bar_ack", msg.addr))
+        elif mt is MessageType.BARRIER_RELEASE:
+            self.resolve(("c:bar_rel", msg.addr))
+        else:  # pragma: no cover - wiring error
+            raise RuntimeError(f"barrier engine got {msg!r}")
+
+    # -- home side ----------------------------------------------------------
+    def _h_arrive(self, msg: Message, entry):
+        # The barrier counter lives in main memory at the home node.
+        yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
+        entry.barrier_count += 1
+        entry.barrier_waiting.append(msg.src)
+        self.send(msg.src, MessageType.BARRIER_ACK, addr=entry.block)
+        if entry.barrier_count >= msg.info["n"]:
+            waiting, entry.barrier_waiting = entry.barrier_waiting, []
+            entry.barrier_count = 0
+            for i, node_id in enumerate(waiting):
+                if i:
+                    yield self.sim.timeout(self.cfg.dir_cycle)
+                self.send(node_id, MessageType.BARRIER_RELEASE, addr=entry.block)
+        self._done(entry)
+
+    def _done(self, entry) -> None:
+        entry.busy = False
+        nxt = entry.pop_deferred()
+        if nxt is not None:
+            self.handle(nxt)

@@ -1,0 +1,57 @@
+"""Lock and barrier objects exposed to workloads.
+
+A *lock object* owns the memory it synchronizes on and provides
+``acquire(proc, mode)`` / ``release(proc, want_ack)`` generators.  The
+hardware variants delegate to the node engines; the software variants (in
+:mod:`repro.sync.swlock`) are built from atomic RMW over the data protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node.processor import Processor
+    from ..system.machine import Machine
+
+__all__ = ["CBLLock", "HWBarrier"]
+
+
+class CBLLock:
+    """A cache-based (queued hardware) lock on one memory block.
+
+    The block's words double as the lock-protected data: they travel with
+    the grant and are accessed via ``proc.cbl.read_locked`` /
+    ``write_locked`` while the lock is held.
+    """
+
+    def __init__(self, machine: "Machine", block: int | None = None):
+        self.machine = machine
+        self.block = machine.alloc_block() if block is None else block
+
+    def acquire(self, proc: "Processor", mode: str = "write"):
+        yield from proc.cbl.acquire(self.block, mode)
+
+    def release(self, proc: "Processor", want_ack: bool = False):
+        yield from proc.cbl.release(self.block, want_ack=want_ack)
+
+    def read_data(self, proc: "Processor", offset: int = 0):
+        value = yield from proc.cbl.read_locked(self.block, offset)
+        return value
+
+    def write_data(self, proc: "Processor", offset: int, value: int):
+        yield from proc.cbl.write_locked(self.block, offset, value)
+
+
+class HWBarrier:
+    """A hardware barrier for ``n`` participants, homed at one block."""
+
+    def __init__(self, machine: "Machine", n: int, block: int | None = None):
+        if n <= 0:
+            raise ValueError("barrier size must be positive")
+        self.machine = machine
+        self.n = n
+        self.block = machine.alloc_block() if block is None else block
+
+    def wait(self, proc: "Processor"):
+        yield from proc.barrier_engine.wait(self.block, self.n)

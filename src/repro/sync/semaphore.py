@@ -1,0 +1,135 @@
+"""Hardware counting semaphores.
+
+The paper names semaphore P among the NP-Synch operations and semaphore V
+among the CP-Synch operations (Section 2).  This engine implements them at
+the home directory: the semaphore's count lives in main memory at its home
+node; P either decrements and grants immediately or queues the requester
+(who then waits locally, like a CBL waiter); V wakes the oldest waiter or
+increments the count.  One message each way — the same cost profile as
+CBL's serial lock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..coherence.base import Controller
+from ..network.message import Message, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node.node import Node
+    from ..node.processor import Processor
+    from ..system.machine import Machine
+
+__all__ = ["SemaphoreEngine", "HWSemaphore"]
+
+
+class SemaphoreEngine(Controller):
+    """P/V at the requester side plus home-side queue management."""
+
+    IN_TYPES = frozenset(
+        {
+            MessageType.SEM_P,
+            MessageType.SEM_V,
+            MessageType.SEM_GRANT,
+            MessageType.SEM_ACK,
+        }
+    )
+
+    # -- requester side ----------------------------------------------------
+    def p(self, block: int):
+        """Semaphore P (down): returns when granted.  NP-Synch."""
+        self.stats.counters.add("sem.p")
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        home = self.amap.home_of(block)
+        ev = self.expect(("c:sem_grant", block))
+        self.send(home, MessageType.SEM_P, addr=block)
+        yield ev  # waiters spin locally: no traffic until granted
+
+    def v(self, block: int, want_ack: bool = False):
+        """Semaphore V (up).  CP-Synch; fire-and-forget unless ``want_ack``."""
+        self.stats.counters.add("sem.v")
+        yield self.sim.timeout(self.cfg.cache_cycle)
+        home = self.amap.home_of(block)
+        ev = self.expect(("c:sem_ack", block)) if want_ack else None
+        self.send(home, MessageType.SEM_V, addr=block, want_ack=want_ack)
+        if ev is not None:
+            yield ev
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        mt = msg.mtype
+        if mt in (MessageType.SEM_P, MessageType.SEM_V):
+            entry = self.node.directory.entry(msg.addr)
+            if entry.busy:
+                entry.defer(msg)
+                return
+            entry.busy = True
+            handler = self._h_p if mt is MessageType.SEM_P else self._h_v
+            self.sim.process(handler(msg, entry), name=f"sem-{mt.name}-{msg.addr}")
+        elif mt is MessageType.SEM_GRANT:
+            self.resolve(("c:sem_grant", msg.addr))
+        elif mt is MessageType.SEM_ACK:
+            self.resolve(("c:sem_ack", msg.addr))
+        else:  # pragma: no cover - wiring error
+            raise RuntimeError(f"semaphore engine got {msg!r}")
+
+    def _done(self, entry) -> None:
+        entry.busy = False
+        nxt = entry.pop_deferred()
+        if nxt is not None:
+            self.handle(nxt)
+
+    # -- home side ----------------------------------------------------------
+    def _h_p(self, msg: Message, entry):
+        yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
+        if entry.sem_count > 0:
+            entry.sem_count -= 1
+            self.send(msg.src, MessageType.SEM_GRANT, addr=entry.block)
+        else:
+            entry.sem_waiters.append(msg.src)
+        self._done(entry)
+
+    def _h_v(self, msg: Message, entry):
+        yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
+        if entry.sem_waiters:
+            waiter = entry.sem_waiters.pop(0)  # FIFO wake-up
+            self.send(waiter, MessageType.SEM_GRANT, addr=entry.block)
+        else:
+            entry.sem_count += 1
+        if msg.info.get("want_ack"):
+            self.send(msg.src, MessageType.SEM_ACK, addr=entry.block)
+        self._done(entry)
+
+
+class HWSemaphore:
+    """A counting semaphore homed at one memory block."""
+
+    def __init__(self, machine: "Machine", initial: int = 1, block: int | None = None):
+        if initial < 0:
+            raise ValueError("initial count must be non-negative")
+        self.machine = machine
+        self.block = machine.alloc_block() if block is None else block
+        home = machine.nodes[machine.amap.home_of(self.block)]
+        home.directory.entry(self.block).sem_count = initial
+
+    def p(self, proc: "Processor"):
+        """Acquire (NP-Synch: no write-buffer flush under BC)."""
+        yield from proc.model.pre_acquire(proc)
+        yield from proc.node.sem_engine.p(self.block)
+
+    def v(self, proc: "Processor"):
+        """Release (CP-Synch: flush pending global writes first under BC)."""
+        yield from proc.model.pre_release(proc)
+        yield from proc.node.sem_engine.v(
+            self.block, want_ack=proc.model.release_wants_ack
+        )
+
+    # Lock-style aliases so a binary semaphore can stand in for a lock.
+    def acquire(self, proc: "Processor", mode: str = "write"):
+        if mode != "write":
+            raise ValueError("semaphores are exclusive-only")
+        yield from proc.node.sem_engine.p(self.block)
+
+    def release(self, proc: "Processor", want_ack: bool = False):
+        yield from proc.node.sem_engine.v(self.block, want_ack=want_ack)

@@ -1,0 +1,7 @@
+"""Machine assembly: configuration, builder, and run metrics."""
+
+from .config import MachineConfig
+from .machine import Machine
+from .metrics import RunMetrics
+
+__all__ = ["MachineConfig", "Machine", "RunMetrics"]

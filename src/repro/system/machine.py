@@ -1,0 +1,198 @@
+"""The machine builder: wires nodes, controllers, and the interconnect."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cache.writebuffer import WriteBuffer
+from ..coherence.readupdate import PrimitivesCacheController, PrimitivesHomeController
+from ..coherence.wbi import WBICacheController, WBIHomeController
+from ..coherence.writeupdate import WUCacheController, WUHomeController
+from ..memory.address import AddressMap
+from ..network.bus import BusNetwork
+from ..network.crossbar import CrossbarNetwork
+from ..network.mesh import MeshNetwork
+from ..network.message import Message, MessageType
+from ..network.omega import BufferedOmegaNetwork, OmegaNetwork
+from ..network.topology import NetworkParams
+from ..node.node import Node
+from ..node.processor import Processor
+from ..sim.core import Process, Simulator
+from ..sim.rng import RngStreams
+from ..sync.barrier import HardwareBarrierEngine
+from ..sync.cbl import CBLEngine
+from ..sync.semaphore import SemaphoreEngine
+from .config import MachineConfig
+from .metrics import RunMetrics
+
+__all__ = ["Machine"]
+
+_NETWORKS = {
+    "omega": OmegaNetwork,
+    "omega-buffered": BufferedOmegaNetwork,
+    "bus": BusNetwork,
+    "crossbar": CrossbarNetwork,
+    "mesh": MeshNetwork,
+}
+
+
+class Machine:
+    """A simulated shared-memory multiprocessor.
+
+    ``protocol`` selects the data-coherence scheme:
+
+    * ``"wbi"`` — the write-back-invalidate baseline (coherent read/write +
+      atomic RMW for software synchronization);
+    * ``"primitives"`` — the paper's machine (Table 1 primitives: local
+      read/write, global read/write through the write buffer, reader-
+      initiated coherence via READ-UPDATE);
+    * ``"writeupdate"`` — the Dragon/Firefly-style sender-initiated update
+      comparator (readers stay registered forever; every write is pushed).
+
+    Every variant carries the CBL lock engine, the hardware barrier, and
+    hardware semaphores.
+    """
+
+    PROTOCOLS = ("wbi", "primitives", "writeupdate")
+
+    def __init__(self, cfg: MachineConfig, protocol: str = "wbi"):
+        if protocol not in self.PROTOCOLS:
+            raise ValueError(f"protocol must be one of {self.PROTOCOLS}, got {protocol!r}")
+        self.cfg = cfg
+        self.protocol = protocol
+        self.sim = Simulator()
+        self.rng = RngStreams(cfg.seed)
+        self.amap = AddressMap(cfg.n_nodes, cfg.words_per_block)
+        net_params = NetworkParams(
+            switch_cycle=cfg.switch_cycle,
+            words_per_block=cfg.words_per_block,
+            local_delivery=cfg.cache_cycle,
+            buffer_capacity=cfg.buffer_capacity,
+        )
+        self.net = _NETWORKS[cfg.network](self.sim, cfg.n_nodes, net_params)
+        self.nodes: List[Node] = []
+        for i in range(cfg.n_nodes):
+            node = Node(i, self.sim, cfg, self.net, self.amap)
+            if protocol == "wbi":
+                node.data_ctl = WBICacheController(node)
+                node.home_ctl = WBIHomeController(node)
+            elif protocol == "writeupdate":
+                node.data_ctl = WUCacheController(node)
+                node.home_ctl = WUHomeController(node)
+            else:
+                node.data_ctl = PrimitivesCacheController(node)
+                node.home_ctl = PrimitivesHomeController(node)
+                node.write_buffer = WriteBuffer(
+                    self.sim,
+                    self._make_issue(node),
+                    capacity=cfg.write_buffer_capacity,
+                )
+            node.register(node.data_ctl)
+            node.register(node.home_ctl)
+            node.cbl = CBLEngine(node)
+            node.register(node.cbl)
+            node.barrier_engine = HardwareBarrierEngine(node)
+            node.register(node.barrier_engine)
+            node.sem_engine = SemaphoreEngine(node)
+            node.register(node.sem_engine)
+            self.nodes.append(node)
+        self._next_block = 0
+        self._procs: List[Process] = []
+        self._processors: list = []
+
+    # -- write buffer wiring ---------------------------------------------------
+    def _make_issue(self, node: Node):
+        def issue(word_addr: int, value: int, entry_id: int) -> None:
+            block = self.amap.block_of(word_addr)
+            home = self.amap.home_of(block)
+            self.net.send(
+                Message(
+                    src=node.node_id,
+                    dst=home,
+                    mtype=MessageType.GLOBAL_WRITE,
+                    addr=block,
+                    info={"word": word_addr, "value": value, "entry_id": entry_id},
+                )
+            )
+
+        return issue
+
+    # -- address allocation ------------------------------------------------------
+    def alloc_block(self, n: int = 1) -> int:
+        """Reserve ``n`` fresh memory blocks; returns the first block id."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        first = self._next_block
+        self._next_block += n
+        return first
+
+    def alloc_word(self) -> int:
+        """Reserve one word on its own fresh block (avoids false sharing)."""
+        return self.amap.word_addr(self.alloc_block(), 0)
+
+    def poke(self, word_addr: int, value: int) -> None:
+        """Initialize main memory directly (simulation setup, zero cost)."""
+        block = self.amap.block_of(word_addr)
+        self.nodes[self.amap.home_of(block)].memory.write_word(word_addr, value)
+
+    def peek_memory(self, word_addr: int) -> int:
+        """Read main memory directly (verification, zero cost)."""
+        block = self.amap.block_of(word_addr)
+        return self.nodes[self.amap.home_of(block)].memory.read_word(word_addr)
+
+    # -- execution ----------------------------------------------------------
+    def processor(self, node_id: int, consistency: str = "sc") -> Processor:
+        """A workload execution context on ``node_id``."""
+        return Processor(self, node_id, consistency)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Run a workload generator as a simulation process."""
+        proc = self.sim.process(generator, name=name)
+        self._procs.append(proc)
+        return proc
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def run_all(self, max_cycles: Optional[float] = None) -> float:
+        """Run until every spawned workload finishes; returns completion time.
+
+        Raises if ``max_cycles`` elapses first (deadlock guard).
+        """
+        self.sim.run(until=max_cycles)
+        alive = [p for p in self._procs if p.is_alive]
+        if alive:
+            raise RuntimeError(
+                f"{len(alive)} workload process(es) still running at "
+                f"t={self.sim.now}: possible deadlock or max_cycles too low"
+            )
+        return self.sim.now
+
+    # -- reporting ----------------------------------------------------------
+    def metrics(self) -> RunMetrics:
+        m = RunMetrics()
+        m.completion_time = self.sim.now
+        m.messages = self.net.message_count
+        m.flits = self.net.stats.counters["flits"]
+        m.mean_net_latency = self.net.mean_latency
+        m.msg_by_type = {
+            k[len("msg.") :]: v
+            for k, v in self.net.stats.counters.as_dict().items()
+            if k.startswith("msg.")
+        }
+        for node in self.nodes:
+            for k, v in node.stats.counters.as_dict().items():
+                m.node_counters[k] = m.node_counters.get(k, 0) + v
+        for proc in self._processors:
+            for k in ("compute_cycles", "data_cycles", "sync_cycles"):
+                m.node_counters[k] = m.node_counters.get(k, 0) + proc.stats.counters[k]
+        return m
+
+    def time_breakdown(self) -> dict:
+        """Aggregate compute/data/sync cycle split over all processors."""
+        out = {"compute": 0, "data": 0, "sync": 0}
+        for proc in self._processors:
+            b = proc.time_breakdown()
+            for k in out:
+                out[k] += b[k]
+        return out

@@ -1,0 +1,29 @@
+"""Run-level metrics: completion time, message counts, and utilization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass(slots=True)
+class RunMetrics:
+    """Summary of one simulated run.
+
+    The paper's headline metric is *completion time measured in machine
+    cycles* (not processor utilization, because "synchronization activities
+    may keep the processor busy without performing any useful computation").
+    """
+
+    completion_time: float = 0.0
+    messages: int = 0
+    flits: int = 0
+    mean_net_latency: float = 0.0
+    msg_by_type: Dict[str, int] = field(default_factory=dict)
+    node_counters: Dict[str, int] = field(default_factory=dict)
+
+    def messages_of(self, prefix: str) -> int:
+        """Total messages whose type name starts with ``prefix``."""
+        return sum(v for k, v in self.msg_by_type.items() if k.startswith(prefix))

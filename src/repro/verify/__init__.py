@@ -1,0 +1,21 @@
+"""Protocol invariant checkers used by tests and property-based harnesses."""
+
+from .checkers import (
+    InvariantViolation,
+    check_all,
+    check_lock_queues,
+    check_ru_lists,
+    check_wbi_coherence,
+)
+from .history import RmwEvent, RmwHistory, check_rmw_linearizable
+
+__all__ = [
+    "InvariantViolation",
+    "check_all",
+    "check_wbi_coherence",
+    "check_ru_lists",
+    "check_lock_queues",
+    "RmwEvent",
+    "RmwHistory",
+    "check_rmw_linearizable",
+]

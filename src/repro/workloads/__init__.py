@@ -1,0 +1,35 @@
+"""Workload models: the paper's sync and work-queue models, the linear
+solver (Table 2), the FFT-phased workload, and trace record/replay."""
+
+from .base import GRAIN_SIZES, LOCK_FACTORIES, WorkloadResult, make_lock
+from .fft import FFTParams, FFTWorkload, run_fft
+from .linsolver import LinSolverParams, LinSolverWorkload, run_linsolver
+from .stencil import StencilParams, StencilWorkload, run_stencil
+from .syncmodel import SyncModelParams, SyncModelWorkload
+from .traces import TraceEntry, TraceRecorder, load_trace, replay, save_trace
+from .workqueue import WorkQueueParams, WorkQueueWorkload
+
+__all__ = [
+    "WorkloadResult",
+    "make_lock",
+    "LOCK_FACTORIES",
+    "GRAIN_SIZES",
+    "SyncModelParams",
+    "SyncModelWorkload",
+    "WorkQueueParams",
+    "WorkQueueWorkload",
+    "LinSolverParams",
+    "LinSolverWorkload",
+    "run_linsolver",
+    "StencilParams",
+    "StencilWorkload",
+    "run_stencil",
+    "FFTParams",
+    "FFTWorkload",
+    "run_fft",
+    "TraceEntry",
+    "TraceRecorder",
+    "replay",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,50 @@
+"""Workload infrastructure shared by the simulation studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from ..sync.base import CBLLock
+from ..sync.swlock import MCSLock, TicketLock, TSLock, TTSBackoffLock, TTSLock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system.machine import Machine
+
+__all__ = ["LOCK_FACTORIES", "make_lock", "GRAIN_SIZES", "WorkloadResult"]
+
+#: Lock scheme name -> factory.  "cbl" is the paper's hardware lock; the
+#: rest are software locks over the coherence protocol.
+LOCK_FACTORIES: Dict[str, Callable] = {
+    "cbl": CBLLock,
+    "ts": TSLock,
+    "tts": TTSLock,
+    "tts_backoff": TTSBackoffLock,
+    "ticket": TicketLock,
+    "mcs": MCSLock,
+}
+
+#: Grain size (data references per task) for the paper's three granularity
+#: regimes.  The paper does not publish its exact values; these are chosen
+#: so that synchronization dominates at fine grain and compute at coarse.
+GRAIN_SIZES = {"fine": 10, "medium": 50, "coarse": 200}
+
+
+def make_lock(machine: "Machine", scheme: str):
+    """Instantiate a lock of the named scheme on ``machine``."""
+    try:
+        factory = LOCK_FACTORIES[scheme]
+    except KeyError:
+        raise ValueError(f"unknown lock scheme {scheme!r}; choose from {sorted(LOCK_FACTORIES)}")
+    return factory(machine)
+
+
+@dataclass(slots=True)
+class WorkloadResult:
+    """Outcome of one workload run."""
+
+    completion_time: float
+    messages: int
+    flits: int
+    tasks_done: int = 0
+    extra: Optional[dict] = None

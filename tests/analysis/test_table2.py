@@ -1,0 +1,93 @@
+"""Tests for the Table 2 analytical model."""
+
+import pytest
+
+from repro.analysis import (
+    OpCost,
+    TransactionCosts,
+    steady_state_latency,
+    steady_state_traffic,
+    table2,
+    table2_row,
+)
+
+
+C = TransactionCosts(c_b=5, c_w=2, c_i=1, c_r=1)
+
+
+def test_initial_load_matches_paper():
+    n, b = 16, 4
+    t = table2(n, b, C)
+    assert t["read-update"]["initial_load"].traffic == 4 * 5  # ceil(16/4) C_B
+    assert t["inv-I"]["initial_load"].traffic == 4 * 5
+    assert t["inv-II"]["initial_load"].traffic == 16 * 5  # n C_B
+
+
+def test_read_update_write_cost():
+    n, b = 16, 4
+    row = table2_row("read-update", n, b, C)
+    assert row["write"].traffic == 2 + 15 * 5  # C_W + (n-1) C_B
+    assert row["write"].latency == 2 + 5  # parallel group counted once
+
+
+def test_read_update_read_free():
+    row = table2_row("read-update", 16, 4, C)
+    assert row["read"].traffic == 0
+    assert row["read"].latency == 0
+
+
+def test_inv_ii_write_cost():
+    n = 8
+    row = table2_row("inv-II", n, 4, C)
+    assert row["write"].traffic == 1 + 7 * 1  # C_R + (n-1) C_I
+    assert row["read"].traffic == 7 * 5  # (n-1) C_B
+
+
+def test_inv_i_write_cost_formula():
+    n, b = 8, 4
+    row = table2_row("inv-I", n, b, C)
+    expected = (1 / 4) * (1 + 7 * 1) + (3 / 4) * (2 * 1 + 2 * 5)
+    assert row["write"].traffic == pytest.approx(expected)
+
+
+def test_inv_i_read_cost_formula():
+    n, b = 16, 4
+    row = table2_row("inv-I", n, b, C)
+    nb = 4
+    expected = (1 / 4) * (nb - 1) * 5 + (3 / 4) * nb * 5
+    assert row["read"].traffic == pytest.approx(expected)
+
+
+def test_read_update_wins_on_latency_for_all_n():
+    """The paper's claim: per-iteration critical-path cost favors read-update."""
+    for n in (4, 8, 16, 32, 64):
+        ru = steady_state_latency("read-update", n, 4, C)
+        i1 = steady_state_latency("inv-I", n, 4, C)
+        i2 = steady_state_latency("inv-II", n, 4, C)
+        assert ru < i1, n
+        assert ru < i2, n
+
+
+def test_invalidation_read_traffic_grows_with_n():
+    r8 = table2_row("inv-II", 8, 4, C)["read"].traffic
+    r64 = table2_row("inv-II", 64, 4, C)["read"].traffic
+    assert r64 / r8 == pytest.approx(63 / 7)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        table2_row("mesi", 8, 4, C)
+
+
+def test_bad_sizes_rejected():
+    with pytest.raises(ValueError):
+        table2_row("inv-I", 0, 4, C)
+    with pytest.raises(ValueError):
+        TransactionCosts(c_b=0)
+
+
+def test_traffic_at_least_latency():
+    for scheme in ("read-update", "inv-I", "inv-II"):
+        row = table2_row(scheme, 16, 4, C)
+        for op in row.values():
+            assert op.traffic >= op.latency

@@ -1,0 +1,85 @@
+"""Tests for the Table 3 analytical model."""
+
+import pytest
+
+from repro.analysis import (
+    ScenarioCost,
+    TimeParams,
+    contention_advantage,
+    table3,
+    table3_entry,
+)
+
+T = TimeParams(t_nw=10, t_cs=50, t_d=1, t_m=4)
+
+
+def test_serial_lock_formulas():
+    wbi = table3_entry("wbi", "serial_lock", 1, T)
+    cbl = table3_entry("cbl", "serial_lock", 1, T)
+    assert wbi.messages == 8
+    assert wbi.time == 8 * 10 + 5 * 1 + 4 + 50
+    assert cbl.messages == 3
+    assert cbl.time == 3 * 10 + 1 + 50
+
+
+def test_parallel_lock_formulas():
+    n = 16
+    wbi = table3_entry("wbi", "parallel_lock", n, T)
+    cbl = table3_entry("cbl", "parallel_lock", n, T)
+    assert wbi.messages == 6 * n * n + 4 * n
+    assert cbl.messages == 6 * n - 3
+    assert wbi.time == n * 50 + 10 * n * 10 + n * (n + 1) / 2 * 4 + 5 * n * (5 * n - 1) / 2 * 1
+    assert cbl.time == n * 50 + (2 * n + 1) * 10 + (n + 1) * 1 + 4
+
+
+def test_barrier_formulas():
+    n = 8
+    assert table3_entry("wbi", "barrier_request", n, T).messages == 18
+    assert table3_entry("cbl", "barrier_request", n, T).messages == 2
+    assert table3_entry("cbl", "barrier_request", n, T).time == 2 * (10 + 4)
+    assert table3_entry("wbi", "barrier_notify", n, T).messages == 5 * n - 3
+    assert table3_entry("cbl", "barrier_notify", n, T).messages == n
+    assert table3_entry("cbl", "barrier_notify", n, T).time == 2 * 10 + (n - 1) * 1
+
+
+def test_cbl_is_linear_wbi_quadratic_in_messages():
+    m8 = table3_entry("wbi", "parallel_lock", 8, T).messages
+    m64 = table3_entry("wbi", "parallel_lock", 64, T).messages
+    assert m64 / m8 > 40  # ~quadratic
+    c8 = table3_entry("cbl", "parallel_lock", 8, T).messages
+    c64 = table3_entry("cbl", "parallel_lock", 64, T).messages
+    assert c64 / c8 < 10  # linear
+
+
+def test_contention_advantage_grows_with_n():
+    a8 = contention_advantage(8, T)
+    a64 = contention_advantage(64, T)
+    assert a64 > a8 > 1
+
+
+def test_cbl_beats_wbi_everywhere():
+    for n in (2, 8, 32):
+        t = table3(n, T)
+        for scenario, d in t.items():
+            assert d["cbl"].messages <= d["wbi"].messages, scenario
+            assert d["cbl"].time <= d["wbi"].time, scenario
+
+
+def test_full_table_shape():
+    t = table3(4, T)
+    assert set(t) == {"parallel_lock", "serial_lock", "barrier_request", "barrier_notify"}
+    for d in t.values():
+        assert set(d) == {"wbi", "cbl"}
+        for c in d.values():
+            assert isinstance(c, ScenarioCost)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        table3_entry("wbi", "parallel_lock", 0, T)
+    with pytest.raises(ValueError):
+        table3_entry("bogus", "serial_lock", 4, T)
+    with pytest.raises(ValueError):
+        table3_entry("wbi", "bogus", 4, T)
+    with pytest.raises(ValueError):
+        TimeParams(t_nw=-1)

@@ -1,0 +1,126 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.cache import CacheGeometryError, LineState, LockMode, SetAssocCache
+
+
+def make(n_sets=4, assoc=2, wpb=4):
+    return SetAssocCache(n_sets, assoc, wpb)
+
+
+def test_geometry_validation():
+    with pytest.raises(CacheGeometryError):
+        SetAssocCache(3, 2, 4)  # non power of two sets
+    with pytest.raises(CacheGeometryError):
+        SetAssocCache(4, 0, 4)
+    with pytest.raises(CacheGeometryError):
+        SetAssocCache(4, 2, 0)
+
+
+def test_capacity():
+    assert make(8, 4).capacity_blocks == 32
+
+
+def test_miss_then_hit():
+    c = make()
+    assert c.lookup(5) is None
+    c.install(5, [1, 2, 3, 4], LineState.SHARED)
+    line = c.lookup(5)
+    assert line is not None and line.data == [1, 2, 3, 4]
+    assert c.stats.counters["misses"] == 1
+    assert c.stats.counters["hits"] == 1
+
+
+def test_set_mapping_conflicts():
+    c = make(n_sets=4, assoc=1)
+    c.install(0, [0] * 4, LineState.SHARED)
+    # Block 4 maps to the same set (4 mod 4 == 0) and evicts block 0.
+    _, evicted = c.install(4, [0] * 4, LineState.SHARED)
+    assert evicted is not None and evicted[0] == 0
+    assert c.lookup(0) is None
+    assert c.lookup(4) is not None
+
+
+def test_lru_eviction_order():
+    c = make(n_sets=1, assoc=2)
+    c.install(0, [0] * 4, LineState.SHARED, now=0)
+    c.install(1, [0] * 4, LineState.SHARED, now=1)
+    c.lookup(0, now=2)  # touch 0; 1 becomes LRU
+    _, evicted = c.install(2, [0] * 4, LineState.SHARED, now=3)
+    assert evicted[0] == 1
+
+
+def test_eviction_reports_dirty_mask():
+    c = make(n_sets=1, assoc=1)
+    line, _ = c.install(0, [1, 2, 3, 4], LineState.EXCLUSIVE)
+    line.write_word(2, 99)
+    _, evicted = c.install(1, [0] * 4, LineState.SHARED)
+    blk, words, mask = evicted
+    assert blk == 0
+    assert words[2] == 99
+    assert mask == 0b0100
+
+
+def test_pinned_lines_not_victimized():
+    c = make(n_sets=1, assoc=2)
+    l0, _ = c.install(0, [0] * 4, LineState.SHARED, now=0)
+    c.install(1, [0] * 4, LineState.SHARED, now=1)
+    l0.update = True  # pin the LRU line
+    _, evicted = c.install(2, [0] * 4, LineState.SHARED, now=2)
+    assert evicted[0] == 1  # the newer but unpinned line goes
+    assert c.peek(0) is not None
+
+
+def test_all_pinned_raises():
+    c = make(n_sets=1, assoc=2)
+    l0, _ = c.install(0, [0] * 4, LineState.SHARED)
+    l1, _ = c.install(1, [0] * 4, LineState.SHARED)
+    l0.lock = LockMode.WAIT_READ
+    l1.update = True
+    with pytest.raises(CacheGeometryError):
+        c.install(2, [0] * 4, LineState.SHARED)
+    assert c.victim_for(2) is None
+
+
+def test_reinstall_same_block_no_eviction():
+    c = make(n_sets=1, assoc=1)
+    c.install(0, [1] * 4, LineState.SHARED)
+    line, evicted = c.install(0, [2] * 4, LineState.EXCLUSIVE)
+    assert evicted is None
+    assert line.data == [2] * 4
+    assert line.state is LineState.EXCLUSIVE
+
+
+def test_invalidate():
+    c = make()
+    c.install(3, [0] * 4, LineState.SHARED)
+    line = c.invalidate(3)
+    assert line is not None
+    assert c.lookup(3) is None
+    assert c.invalidate(99) is None
+
+
+def test_peek_does_not_touch_stats():
+    c = make()
+    c.install(1, [0] * 4, LineState.SHARED)
+    before = c.stats.counters.as_dict()
+    c.peek(1)
+    c.peek(2)
+    assert c.stats.counters.as_dict() == before
+
+
+def test_valid_lines_listing():
+    c = make()
+    c.install(1, [0] * 4, LineState.SHARED)
+    c.install(2, [0] * 4, LineState.EXCLUSIVE)
+    assert sorted(l.block for l in c.valid_lines()) == [1, 2]
+
+
+def test_hit_rate():
+    c = make()
+    c.install(0, [0] * 4, LineState.SHARED)
+    c.lookup(0)
+    c.lookup(0)
+    c.lookup(9)
+    assert c.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,77 @@
+"""Unit tests for cache lines (Fig. 2a metadata)."""
+
+from repro.cache import CacheLine, LineState, LockMode
+
+
+def test_new_line_invalid():
+    line = CacheLine(4)
+    assert not line.valid
+    assert not line.dirty
+    assert line.lock is LockMode.NONE
+    assert not line.is_queue_member()
+
+
+def test_fill_sets_state_and_clears_metadata():
+    line = CacheLine(4)
+    line.update = True
+    line.lock = LockMode.READ
+    line.fill(7, [1, 2, 3, 4], LineState.SHARED)
+    assert line.valid
+    assert line.block == 7
+    assert line.data == [1, 2, 3, 4]
+    assert line.dirty_mask == 0
+    assert not line.update
+    assert line.lock is LockMode.NONE
+
+
+def test_per_word_dirty_bits():
+    line = CacheLine(4)
+    line.fill(0, [0, 0, 0, 0], LineState.EXCLUSIVE)
+    line.write_word(1, 11)
+    line.write_word(3, 33)
+    assert line.dirty_mask == 0b1010
+    assert line.dirty_words() == [1, 3]
+    assert line.read_word(1) == 11
+    assert line.read_word(0) == 0
+
+
+def test_write_word_not_dirty_option():
+    line = CacheLine(4)
+    line.fill(0, [0] * 4, LineState.SHARED)
+    line.write_word(2, 5, dirty=False)
+    assert line.read_word(2) == 5
+    assert not line.dirty
+
+
+def test_queue_membership_pins_line():
+    line = CacheLine(4)
+    line.fill(0, [0] * 4, LineState.SHARED)
+    assert not line.is_queue_member()
+    line.update = True
+    assert line.is_queue_member()
+    line.update = False
+    line.lock = LockMode.WAIT_WRITE
+    assert line.is_queue_member()
+
+
+def test_invalidate_clears_everything():
+    line = CacheLine(4)
+    line.fill(3, [9] * 4, LineState.EXCLUSIVE)
+    line.write_word(0, 1)
+    line.update = True
+    line.prev, line.next = 2, 5
+    line.invalidate()
+    assert not line.valid
+    assert line.dirty_mask == 0
+    assert not line.update
+    assert line.prev is None and line.next is None
+
+
+def test_lock_mode_predicates():
+    assert LockMode.READ.is_held
+    assert LockMode.WRITE.is_held
+    assert not LockMode.WAIT_READ.is_held
+    assert LockMode.WAIT_READ.is_waiting
+    assert LockMode.WAIT_WRITE.is_waiting
+    assert not LockMode.NONE.is_held
+    assert not LockMode.NONE.is_waiting

@@ -1,0 +1,61 @@
+"""Unit tests for the fully-associative lock cache."""
+
+import pytest
+
+from repro.cache import LockCache, LockCacheFullError, LockMode
+
+
+def test_allocate_and_lookup():
+    lc = LockCache(4, 4)
+    line = lc.allocate(10)
+    assert line.block == 10
+    assert lc.lookup(10) is line
+    assert len(lc) == 1
+
+
+def test_allocate_idempotent():
+    lc = LockCache(4, 4)
+    assert lc.allocate(1) is lc.allocate(1)
+    assert len(lc) == 1
+
+
+def test_eviction_of_unpinned():
+    lc = LockCache(2, 4)
+    a = lc.allocate(1)
+    lc.allocate(2)
+    a.lock = LockMode.NONE  # unpinned
+    lc.peek(2).lock = LockMode.WRITE  # pinned
+    lc.allocate(3)  # must evict block 1
+    assert lc.peek(1) is None
+    assert lc.peek(2) is not None
+    assert lc.stats.counters["evictions"] == 1
+
+
+def test_full_of_pinned_raises():
+    lc = LockCache(2, 4)
+    lc.allocate(1).lock = LockMode.WRITE
+    lc.allocate(2).lock = LockMode.WAIT_READ
+    with pytest.raises(LockCacheFullError):
+        lc.allocate(3)
+
+
+def test_release_frees_entry():
+    lc = LockCache(1, 4)
+    lc.allocate(5).lock = LockMode.WRITE
+    lc.release(5)
+    assert len(lc) == 0
+    lc.allocate(6)  # no error
+
+
+def test_held_and_waiting_lists():
+    lc = LockCache(4, 4)
+    lc.allocate(1).lock = LockMode.READ
+    lc.allocate(2).lock = LockMode.WAIT_WRITE
+    lc.allocate(3).lock = LockMode.WRITE
+    assert sorted(lc.held_locks()) == [1, 3]
+    assert lc.waiting_locks() == [2]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LockCache(0, 4)

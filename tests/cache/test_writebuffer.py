@@ -1,0 +1,178 @@
+"""Unit tests for the write buffer (Section 4.2)."""
+
+import pytest
+
+from repro.cache import WriteBuffer
+from repro.sim import Simulator
+
+
+class FakeNI:
+    """Records issued writes; the test acks them manually or after a delay."""
+
+    def __init__(self, sim, ack_delay=None):
+        self.sim = sim
+        self.issued = []
+        self.ack_delay = ack_delay
+        self.wb = None
+
+    def issue(self, addr, value, entry_id):
+        self.issued.append((addr, value, entry_id))
+        if self.ack_delay is not None:
+            ev = self.sim.timeout(self.ack_delay, value=entry_id)
+            ev.callbacks.append(lambda e: self.wb.retire(e.value))
+
+
+def make(sim, ack_delay=None, capacity=None):
+    ni = FakeNI(sim, ack_delay)
+    wb = WriteBuffer(sim, ni.issue, capacity=capacity)
+    ni.wb = wb
+    return wb, ni
+
+
+def test_put_issues_immediately():
+    sim = Simulator()
+    wb, ni = make(sim)
+    wb.put(100, 7)
+    assert ni.issued == [(100, 7, 0)]
+    assert wb.pending_count == 1
+
+
+def test_retire_decrements_pending():
+    sim = Simulator()
+    wb, ni = make(sim)
+    wb.put(1, 1)
+    wb.put(2, 2)
+    wb.retire(0)
+    assert wb.pending_count == 1
+    wb.retire(1)
+    assert wb.pending_count == 0
+
+
+def test_retire_unknown_raises():
+    sim = Simulator()
+    wb, _ = make(sim)
+    with pytest.raises(KeyError):
+        wb.retire(99)
+
+
+def test_flush_waits_for_all_acks():
+    sim = Simulator()
+    wb, ni = make(sim, ack_delay=10)
+    done = []
+
+    def p(sim):
+        wb.put(1, 1)
+        wb.put(2, 2)
+        yield wb.flush()
+        done.append(sim.now)
+
+    sim.process(p(sim))
+    sim.run()
+    assert done == [10]
+    assert wb.pending_count == 0
+
+
+def test_flush_on_empty_buffer_immediate():
+    sim = Simulator()
+    wb, _ = make(sim)
+    done = []
+
+    def p(sim):
+        yield wb.flush()
+        done.append(sim.now)
+
+    sim.process(p(sim))
+    sim.run()
+    assert done == [0]
+
+
+def test_processor_not_stalled_by_puts():
+    """Global writes must not stall the issuing process (the whole point)."""
+    sim = Simulator()
+    wb, _ = make(sim, ack_delay=50)
+    times = []
+
+    def p(sim):
+        for i in range(5):
+            yield wb.put(i, i)
+            times.append(sim.now)
+            yield sim.timeout(1)
+
+    sim.process(p(sim))
+    sim.run()
+    assert times == [0, 1, 2, 3, 4]
+
+
+def test_finite_capacity_blocks_put():
+    sim = Simulator()
+    wb, ni = make(sim, ack_delay=10, capacity=2)
+    log = []
+
+    def p(sim):
+        yield wb.put(1, 1)
+        yield wb.put(2, 2)
+        log.append(("two buffered", sim.now))
+        yield wb.put(3, 3)  # blocks until the first ack at t=10
+        log.append(("third accepted", sim.now))
+
+    sim.process(p(sim))
+    sim.run()
+    assert ("two buffered", 0) in log
+    assert ("third accepted", 10) in log
+
+
+def test_flush_counts_writes_accepted_while_full():
+    """A flush issued while a put is blocked must cover that put too."""
+    sim = Simulator()
+    wb, ni = make(sim, ack_delay=10, capacity=1)
+    done = []
+
+    def writer(sim):
+        yield wb.put(1, 1)
+        yield wb.put(2, 2)  # blocked until t=10
+
+    def flusher(sim):
+        yield sim.timeout(1)
+        yield wb.flush()
+        done.append(sim.now)
+
+    sim.process(writer(sim))
+    sim.process(flusher(sim))
+    sim.run()
+    assert done == [20]  # second write issues at 10, acks at 20
+
+
+def test_occupancy_stat_tracks_levels():
+    sim = Simulator()
+    wb, ni = make(sim, ack_delay=10)
+
+    def p(sim):
+        wb.put(1, 1)
+        yield sim.timeout(0)
+
+    sim.process(p(sim))
+    sim.run()
+    assert wb.occupancy.max == 1
+    assert wb.pending_count == 0
+
+
+def test_stats_counters():
+    sim = Simulator()
+    wb, ni = make(sim, ack_delay=1)
+
+    def p(sim):
+        wb.put(1, 1)
+        wb.put(2, 2)
+        yield wb.flush()
+
+    sim.process(p(sim))
+    sim.run()
+    assert wb.stats.counters["writes"] == 2
+    assert wb.stats.counters["retired"] == 2
+    assert wb.stats.counters["flushes"] == 1
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        WriteBuffer(sim, lambda a, v, i: None, capacity=0)

@@ -1,0 +1,99 @@
+"""Unit tests for the consistency-model policy objects."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.consistency import (
+    BufferedConsistency,
+    ReleaseConsistency,
+    SequentialConsistency,
+    WeakOrdering,
+    get_model,
+)
+
+
+def test_policy_flags_match_paper_semantics():
+    sc, bc, wo, rc = (
+        SequentialConsistency(),
+        BufferedConsistency(),
+        WeakOrdering(),
+        ReleaseConsistency(),
+    )
+    # SC: stall everywhere, nothing ever pending so no fences needed.
+    assert sc.stall_on_shared_write
+    assert not sc.flush_before_acquire and not sc.flush_before_release
+    # BC: buffer writes; CP-Synch (release) fences; NP-Synch (acquire) free;
+    # releases do not wait for global performance.
+    assert not bc.stall_on_shared_write
+    assert not bc.flush_before_acquire
+    assert bc.flush_before_release
+    assert not bc.release_wants_ack
+    # WO: every synchronization access is a fence, fully performed.
+    assert wo.flush_before_acquire and wo.flush_before_release
+    assert wo.release_wants_ack
+    # RC: acquire free; release fenced and fully performed.
+    assert not rc.flush_before_acquire
+    assert rc.flush_before_release and rc.release_wants_ack
+
+
+def test_get_model_returns_fresh_instances():
+    assert get_model("bc") is not get_model("bc")
+
+
+def test_fence_is_noop_without_write_buffer():
+    m = Machine(MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2), protocol="wbi")
+    p = m.processor(0, consistency="wo")
+    done = []
+
+    def w():
+        yield from p.model.fence(p)
+        done.append(m.sim.now)
+
+    m.spawn(w())
+    m.run()
+    assert done == [0]  # no stall, nothing to drain
+
+
+def test_shared_write_stalls_only_under_sc():
+    def pending_after_write(consistency):
+        m = Machine(
+            MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2),
+            protocol="primitives",
+        )
+        p = m.processor(0, consistency=consistency)
+        out = {}
+
+        def w():
+            yield from p.shared_write(m.alloc_word(), 1)
+            out["pending"] = m.nodes[0].write_buffer.pending_count
+
+        m.spawn(w())
+        m.run(until=5)  # before the ack can return
+        return out.get("pending")
+
+    assert pending_after_write("bc") == 1  # returned with the write in flight
+    assert pending_after_write("sc") is None  # still stalled at t=5
+
+
+@pytest.mark.parametrize("name", ["sc", "bc", "wo", "rc"])
+def test_all_models_run_a_full_workload(name):
+    from repro import CBLLock
+
+    m = Machine(
+        MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2), protocol="primitives"
+    )
+    lock = CBLLock(m)
+    data = m.alloc_word()
+
+    def w(p):
+        for _ in range(2):
+            yield from p.acquire(lock)
+            yield from p.shared_write(data, p.node_id)
+            yield from p.release(lock)
+
+    for i in range(4):
+        m.spawn(w(m.processor(i, consistency=name)))
+    m.run()
+    # Everything drained: no pending writes anywhere.
+    for node in m.nodes:
+        assert node.write_buffer.pending_count == 0

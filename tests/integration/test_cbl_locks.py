@@ -1,0 +1,342 @@
+"""Integration tests: cache-based locking (CBL)."""
+
+import pytest
+
+from repro import CBLLock, Machine, MachineConfig
+from repro.network import MessageType
+
+
+def machine(n=8, protocol="primitives", **kw):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=64, cache_assoc=2, **kw)
+    return Machine(cfg, protocol=protocol)
+
+
+def test_uncontended_acquire_release():
+    m = machine()
+    lock = CBLLock(m)
+    done = []
+    p = m.processor(0)
+
+    def w():
+        yield from p.acquire(lock)
+        assert p.cbl.holds(lock.block)
+        yield from p.release(lock)
+        assert not p.cbl.holds(lock.block)
+        done.append(True)
+
+    m.spawn(w())
+    m.run()
+    assert done == [True]
+    # Exactly: REQ + GRANT + RELEASE = 3 network messages.
+    assert m.net.count_of(MessageType.LOCK_REQ_WRITE) == 1
+    assert m.net.count_of(MessageType.LOCK_GRANT) == 1
+    assert m.net.count_of(MessageType.LOCK_RELEASE) == 1
+
+
+def test_mutual_exclusion_under_contention():
+    m = machine()
+    lock = CBLLock(m)
+    in_cs = []
+    violations = []
+
+    def w(p):
+        for _ in range(3):
+            yield from p.acquire(lock)
+            if in_cs:
+                violations.append(p.node_id)
+            in_cs.append(p.node_id)
+            yield from p.compute(17)
+            in_cs.pop()
+            yield from p.release(lock)
+            yield from p.compute(5)
+
+    for i in range(8):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert violations == []
+
+
+def test_lock_grant_carries_data():
+    """The protected data travels with the grant (synchronization merged
+    with data transfer)."""
+    m = machine()
+    lock = CBLLock(m)
+    m.poke(m.amap.word_addr(lock.block, 0), 123)
+    vals = []
+    p = m.processor(2)
+
+    def w():
+        yield from p.acquire(lock)
+        v = yield from lock.read_data(p, 0)
+        vals.append(v)
+        yield from lock.write_data(p, 0, 124)
+        yield from p.release(lock)
+
+    m.spawn(w())
+    m.run()
+    assert vals == [123]
+    assert m.peek_memory(m.amap.word_addr(lock.block, 0)) == 124
+
+
+def test_critical_section_counter_is_exact():
+    """The canonical test: n workers increment a lock-protected counter."""
+    m = machine()
+    lock = CBLLock(m)
+    addr = m.amap.word_addr(lock.block, 0)
+
+    def w(p):
+        for _ in range(4):
+            yield from p.acquire(lock)
+            v = yield from lock.read_data(p, 0)
+            yield from p.compute(3)
+            yield from lock.write_data(p, 0, v + 1)
+            yield from p.release(lock)
+
+    for i in range(8):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert m.peek_memory(addr) == 32
+
+
+def test_waiters_generate_no_network_traffic():
+    """CBL's key property: spinning is local."""
+    m = machine(n=4)
+    lock = CBLLock(m)
+    p0, p1 = m.processor(0), m.processor(1)
+    probe = {}
+
+    def holder():
+        yield from p0.acquire(lock)
+        yield from p0.compute(50)
+        probe["before"] = m.net.message_count
+        yield from p0.compute(5000)  # long critical section
+        probe["after"] = m.net.message_count
+        yield from p0.release(lock)
+
+    def waiter():
+        yield p1.sim.timeout(30)
+        yield from p1.acquire(lock)
+        yield from p1.release(lock)
+
+    m.spawn(holder())
+    m.spawn(waiter())
+    m.run()
+    # While the waiter was queued (the 5000-cycle window) zero messages flowed.
+    assert probe["after"] == probe["before"]
+
+
+def test_read_locks_shared_concurrently():
+    m = machine()
+    lock = CBLLock(m)
+    concurrent = []
+    active = [0]
+
+    def reader(p):
+        yield from p.acquire(lock, mode="read")
+        active[0] += 1
+        concurrent.append(active[0])
+        yield from p.compute(100)
+        active[0] -= 1
+        yield from p.release(lock)
+
+    for i in range(4):
+        m.spawn(reader(m.processor(i)))
+    m.run()
+    assert max(concurrent) > 1  # readers overlapped
+
+
+def test_writer_excludes_readers():
+    m = machine()
+    lock = CBLLock(m)
+    log = []
+
+    def reader(p, delay):
+        yield p.sim.timeout(delay)
+        yield from p.acquire(lock, mode="read")
+        log.append(("r-in", p.node_id))
+        yield from p.compute(100)
+        log.append(("r-out", p.node_id))
+        yield from p.release(lock)
+
+    def writer(p, delay):
+        yield p.sim.timeout(delay)
+        yield from p.acquire(lock, mode="write")
+        log.append(("w-in", p.node_id))
+        yield from p.compute(100)
+        log.append(("w-out", p.node_id))
+        yield from p.release(lock)
+
+    m.spawn(reader(m.processor(0), 0))
+    m.spawn(reader(m.processor(1), 10))
+    m.spawn(writer(m.processor(2), 20))
+    m.spawn(reader(m.processor(3), 30))  # queued behind the writer
+    m.run()
+    # The writer's critical section must not overlap anyone's.
+    w_in = log.index(("w-in", 2))
+    w_out = log.index(("w-out", 2))
+    for i, (tag, nid) in enumerate(log):
+        if nid != 2 and tag == "r-in":
+            out = log.index(("r-out", nid))
+            assert out < w_in or i > w_out
+
+
+def test_release_of_write_lock_wakes_reader_prefix():
+    """Releasing a write lock grants the maximal prefix of waiting readers."""
+    m = machine()
+    lock = CBLLock(m)
+    granted_at = {}
+
+    def writer(p):
+        yield from p.acquire(lock, "write")
+        yield from p.compute(200)
+        yield from p.release(lock)
+
+    def reader(p, delay):
+        yield p.sim.timeout(delay)
+        yield from p.acquire(lock, "read")
+        granted_at[p.node_id] = p.sim.now
+        yield from p.compute(50)
+        yield from p.release(lock)
+
+    m.spawn(writer(m.processor(0)))
+    m.spawn(reader(m.processor(1), 20))
+    m.spawn(reader(m.processor(2), 30))
+    m.spawn(reader(m.processor(3), 40))
+    m.run()
+    times = sorted(granted_at.values())
+    # All three readers granted in one cascade, close together.
+    assert times[-1] - times[0] < 100
+
+
+def test_fifo_ordering_of_write_lock_grants():
+    m = machine()
+    lock = CBLLock(m)
+    order = []
+
+    def w(p, delay):
+        yield p.sim.timeout(delay)
+        yield from p.acquire(lock)
+        order.append(p.node_id)
+        yield from p.compute(50)
+        yield from p.release(lock)
+
+    for i in range(6):
+        m.spawn(w(m.processor(i), i * 7))
+    m.run()
+    assert order == [0, 1, 2, 3, 4, 5]
+
+
+def test_lock_queue_mirror_matches_line_pointers():
+    m = machine()
+    lock = CBLLock(m)
+    snapshot = {}
+
+    def holder(p):
+        yield from p.acquire(lock)
+        yield from p.compute(500)
+        # Snapshot while three waiters are queued.
+        home = m.amap.home_of(lock.block)
+        entry = m.nodes[home].directory.entry(lock.block)
+        snapshot["queue"] = [item[0] for item in entry.lock_queue]
+        snapshot["tail"] = entry.queue_pointer
+        snapshot["lines"] = {
+            nid: (m.nodes[nid].lockcache.peek(lock.block).prev,
+                  m.nodes[nid].lockcache.peek(lock.block).next)
+            for nid in snapshot["queue"]
+            if m.nodes[nid].lockcache.peek(lock.block) is not None
+        }
+        yield from p.release(lock)
+
+    def waiter(p, delay):
+        yield p.sim.timeout(delay)
+        yield from p.acquire(lock)
+        yield from p.release(lock)
+
+    m.spawn(holder(m.processor(0)))
+    for i, d in ((1, 50), (2, 100), (3, 150)):
+        m.spawn(waiter(m.processor(i), d))
+    m.run()
+    assert snapshot["queue"] == [0, 1, 2, 3]
+    assert snapshot["tail"] == 3
+    # Each queued line's prev points at its predecessor in the mirror.
+    q = snapshot["queue"]
+    for i, nid in enumerate(q):
+        if nid in snapshot["lines"]:
+            prev, nxt = snapshot["lines"][nid]
+            if i > 0:
+                assert prev == q[i - 1]
+
+
+def test_handoff_is_two_network_transits():
+    """Home-arbitrated handoff: release-in plus grant-out."""
+    cfg = MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="primitives")
+    lock = CBLLock(m)
+    t = {}
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def holder():
+        yield from p0.acquire(lock)
+        yield from p0.compute(100)
+        t["released"] = p0.sim.now
+        yield from p0.release(lock)
+
+    def waiter():
+        yield p1.sim.timeout(20)
+        yield from p1.acquire(lock)
+        t["granted"] = p1.sim.now
+        yield from p1.release(lock)
+
+    m.spawn(holder())
+    m.spawn(waiter())
+    m.run()
+    handoff = t["granted"] - t["released"]
+    # Release message + directory + memory merge + grant message; the grant
+    # is a block-sized transfer.  Must be far below a WBI-style storm.
+    stages = m.net.stages
+    upper = 2 * stages * (1 + cfg.words_per_block) + cfg.dir_cycle + 2 * cfg.memory_cycle + 10
+    assert handoff <= upper
+
+
+def test_double_acquire_same_node_rejected():
+    m = machine()
+    lock = CBLLock(m)
+    p = m.processor(0)
+
+    def w():
+        yield from p.acquire(lock)
+        yield from p.acquire(lock)  # same node, same lock: error
+
+    m.spawn(w())
+    with pytest.raises(RuntimeError, match="already holds"):
+        m.run()
+
+
+def test_release_without_hold_rejected():
+    m = machine()
+    lock = CBLLock(m)
+    p = m.processor(0)
+
+    def w():
+        yield from p.release(lock)
+
+    m.spawn(w())
+    with pytest.raises(RuntimeError, match="does not hold"):
+        m.run()
+
+
+def test_cbl_works_on_wbi_machine_too():
+    m = machine(protocol="wbi")
+    lock = CBLLock(m)
+    addr = m.amap.word_addr(lock.block, 0)
+
+    def w(p):
+        yield from p.acquire(lock)
+        v = yield from lock.read_data(p, 0)
+        yield from lock.write_data(p, 0, v + 1)
+        yield from p.release(lock)
+
+    for i in range(4):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert m.peek_memory(addr) == 4

@@ -1,0 +1,224 @@
+"""Integration tests: SC vs BC vs WO vs RC on the primitives machine."""
+
+import pytest
+
+from repro import CBLLock, HWBarrier, Machine, MachineConfig
+from repro.consistency import get_model
+from repro.network import MessageType
+
+
+def machine(n=4, **kw):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=64, cache_assoc=2, **kw)
+    return Machine(cfg, protocol="primitives")
+
+
+def test_get_model_names():
+    assert get_model("sc").name == "sc"
+    assert get_model("bc").name == "bc"
+    assert get_model("wo").name == "wo"
+    assert get_model("rc").name == "rc"
+    with pytest.raises(ValueError):
+        get_model("tso")
+
+
+def test_sc_stalls_each_shared_write():
+    m = machine()
+    p = m.processor(0, consistency="sc")
+    addrs = [m.alloc_word() for _ in range(5)]
+    elapsed = {}
+
+    def w():
+        t0 = p.sim.now
+        for a in addrs:
+            yield from p.shared_write(a, 1)
+        elapsed["t"] = p.sim.now - t0
+        assert m.nodes[0].write_buffer.pending_count == 0
+
+    m.spawn(w())
+    m.run()
+    # Each write waits for a full network round trip: >> 5 cycles.
+    assert elapsed["t"] >= 5 * 4
+
+
+def test_bc_overlaps_shared_writes():
+    def issue_time(consistency):
+        m = machine()
+        p = m.processor(0, consistency=consistency)
+        addrs = [m.alloc_word() for _ in range(10)]
+        out = {}
+
+        def w():
+            t0 = p.sim.now
+            for a in addrs:
+                yield from p.shared_write(a, 1)
+            out["issue"] = p.sim.now - t0
+            yield from p.flush()
+            out["total"] = p.sim.now - t0
+
+        m.spawn(w())
+        m.run()
+        return out
+
+    sc = issue_time("sc")
+    bc = issue_time("bc")
+    assert bc["issue"] < sc["issue"] / 2  # BC issues without stalling
+    assert bc["total"] <= sc["total"]  # and overall no slower
+
+
+def test_bc_flushes_before_release():
+    """Writes inside the critical section must be globally performed before
+    the lock is handed to the next holder."""
+    m = machine()
+    lock = CBLLock(m)
+    data = m.alloc_word()
+    seen = []
+    p0 = m.processor(0, consistency="bc")
+    p1 = m.processor(1, consistency="bc")
+
+    def writer():
+        yield from p0.acquire(lock)
+        yield from p0.shared_write(data, 55)  # buffered
+        yield from p0.release(lock)  # CP-Synch: flush first
+
+    def reader():
+        yield p1.sim.timeout(10)
+        yield from p1.acquire(lock)
+        v = yield from p1.read_global(data)  # memory must have it
+        seen.append(v)
+        yield from p1.release(lock)
+
+    m.spawn(writer())
+    m.spawn(reader())
+    m.run()
+    assert seen == [55]
+
+
+def test_bc_acquire_does_not_flush():
+    """NP-Synch: a lock acquire proceeds with writes still pending."""
+    m = machine()
+    lock = CBLLock(m)
+    p = m.processor(0, consistency="bc")
+    pending_at_acquire = []
+
+    def w():
+        for _ in range(5):
+            yield from p.shared_write(m.alloc_word(), 1)
+        pending_at_acquire.append(m.nodes[0].write_buffer.pending_count)
+        yield from p.acquire(lock)
+        pending_at_acquire.append(m.nodes[0].write_buffer.pending_count)
+        yield from p.release(lock)
+
+    m.spawn(w())
+    m.run()
+    # Writes were still in flight when the acquire was issued.
+    assert pending_at_acquire[0] > 0
+
+
+def test_wo_flushes_before_acquire():
+    m = machine()
+    lock = CBLLock(m)
+    p = m.processor(0, consistency="wo")
+    pending = []
+
+    def w():
+        for _ in range(5):
+            yield from p.shared_write(m.alloc_word(), 1)
+        yield from p.acquire(lock)
+        pending.append(m.nodes[0].write_buffer.pending_count)
+        yield from p.release(lock)
+
+    m.spawn(w())
+    m.run()
+    assert pending == [0]  # drained before the acquire completed
+
+
+def test_rc_and_wo_release_waits_for_ack():
+    for name in ("rc", "wo"):
+        m = machine()
+        lock = CBLLock(m)
+        p = m.processor(0, consistency=name)
+
+        def w():
+            yield from p.acquire(lock)
+            yield from p.release(lock)
+
+        m.spawn(w())
+        m.run()
+        assert m.net.count_of(MessageType.QUEUE_ACK) == 1, name
+
+
+def test_bc_release_is_fire_and_forget():
+    m = machine()
+    lock = CBLLock(m)
+    p = m.processor(0, consistency="bc")
+
+    def w():
+        yield from p.acquire(lock)
+        yield from p.release(lock)
+
+    m.spawn(w())
+    m.run()
+    assert m.net.count_of(MessageType.QUEUE_ACK) == 0
+
+
+def test_bc_barrier_flushes_first():
+    m = machine()
+    bar = HWBarrier(m, n=2)
+    data = m.alloc_word()
+    seen = []
+    p0 = m.processor(0, consistency="bc")
+    p1 = m.processor(1, consistency="bc")
+
+    def writer():
+        yield from p0.shared_write(data, 7)
+        yield from p0.barrier(bar)
+
+    def reader():
+        yield from p1.barrier(bar)
+        v = yield from p1.read_global(data)
+        seen.append(v)
+
+    m.spawn(writer())
+    m.spawn(reader())
+    m.run()
+    assert seen == [7]
+
+
+def test_bc_faster_than_sc_for_write_heavy_critical_sections():
+    """The Figure 6/7 effect in miniature."""
+
+    def completion(consistency):
+        m = machine()
+        lock = CBLLock(m)
+        data = [m.alloc_word() for _ in range(8)]
+
+        def w(p):
+            for _ in range(3):
+                yield from p.acquire(lock)
+                for a in data:
+                    yield from p.shared_write(a, p.node_id)
+                yield from p.release(lock)
+                yield from p.compute(20)
+
+        for i in range(4):
+            m.spawn(w(m.processor(i, consistency=consistency)))
+        m.run()
+        return m.sim.now
+
+    assert completion("bc") < completion("sc")
+
+
+def test_models_on_wbi_machine_fall_back_to_coherent_writes():
+    cfg = MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="wbi")
+    addr = m.alloc_word()
+    p = m.processor(0, consistency="bc")
+
+    def w():
+        yield from p.shared_write(addr, 3)
+
+    m.spawn(w())
+    m.run()
+    # No write buffer on WBI machines; the write went through coherently.
+    assert m.nodes[0].write_buffer is None
+    assert m.nodes[0].cache.peek(m.amap.block_of(addr)).data[0] == 3

@@ -1,0 +1,165 @@
+"""Detailed READ-UPDATE subscriber-list maintenance: splices at every
+position, re-subscription, interleaved writes, and home deferral."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.network import MessageType
+from repro.verify import check_ru_lists
+
+
+def setup_subscribers(node_ids, n=8):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="primitives")
+    block = m.alloc_block()
+    addr = m.amap.word_addr(block, 0)
+
+    def sub(p, delay):
+        yield p.sim.timeout(delay)
+        yield from p.read_update(addr)
+
+    for i, nid in enumerate(node_ids):
+        m.spawn(sub(m.processor(nid), i * 100))
+    m.run()
+    return m, block, addr
+
+
+def entry_of(m, block):
+    return m.nodes[m.amap.home_of(block)].directory.entry(block)
+
+
+@pytest.mark.parametrize("position", [0, 1, 2])  # head, middle, tail of [3,2,1]
+def test_unsubscribe_each_position(position):
+    m, block, addr = setup_subscribers([1, 2, 3])
+    # Mirror is reverse arrival order: [3, 2, 1].
+    order = entry_of(m, block).ru_subscribers
+    leaver = order[position]
+    p = m.processor(leaver)
+
+    def w():
+        yield from p.reset_update(addr)
+
+    m.spawn(w())
+    m.run()
+    remaining = entry_of(m, block).ru_subscribers
+    assert leaver not in remaining
+    assert len(remaining) == 2
+    check_ru_lists(m)  # pointers spliced consistently
+
+
+def test_unsubscribe_last_subscriber_clears_usage():
+    from repro.memory.directory import Usage
+
+    m, block, addr = setup_subscribers([5])
+    p = m.processor(5)
+
+    def w():
+        yield from p.reset_update(addr)
+
+    m.spawn(w())
+    m.run()
+    entry = entry_of(m, block)
+    assert entry.ru_subscribers == []
+    assert entry.usage is Usage.NONE
+    assert entry.queue_pointer is None
+
+
+def test_resubscribe_after_unsubscribe():
+    m, block, addr = setup_subscribers([1, 2])
+    p = m.processor(1)
+    got = []
+
+    def w():
+        yield from p.reset_update(addr)
+        v = yield from p.read_update(addr)
+        got.append(v)
+
+    def writer():
+        pw = m.processor(0)
+        yield pw.sim.timeout(2000)
+        yield from pw.write_global(addr, 77)
+        yield from pw.flush()
+
+    m.spawn(w())
+    m.spawn(writer())
+    m.run()
+    check_ru_lists(m)
+    # Node 1 re-subscribed, so the update reached it.
+    assert m.nodes[1].cache.peek(block).data[0] == 77
+
+
+def test_writes_interleaved_with_splices_stay_consistent():
+    """Global writes and unsubscribes to the same block serialize at the
+    home busy bit; the survivors always hold the latest value."""
+    m, block, addr = setup_subscribers([1, 2, 3, 4])
+    pw = m.processor(0)
+    p2 = m.processor(2)
+
+    def writer():
+        for k in range(1, 6):
+            yield from pw.write_global(addr, k)
+        yield from pw.flush()
+
+    def leaver():
+        yield p2.sim.timeout(30)  # mid-write-stream
+        yield from p2.reset_update(addr)
+
+    m.spawn(writer())
+    m.spawn(leaver())
+    m.run()
+    check_ru_lists(m)
+    for nid in (1, 3, 4):
+        assert m.nodes[nid].cache.peek(block).data[0] == 5, nid
+    assert 2 not in entry_of(m, block).ru_subscribers
+
+
+def test_deferred_subscriptions_fifo():
+    """Simultaneous RU_REQs defer behind the busy bit and replay in order:
+    the mirror ends in exact reverse-arrival order."""
+    cfg = MachineConfig(n_nodes=8, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="primitives")
+    block = m.alloc_block()
+    addr = m.amap.word_addr(block, 0)
+
+    def sub(p):
+        yield from p.read_update(addr)
+
+    for nid in (1, 2, 3, 4, 5):
+        m.spawn(sub(m.processor(nid)))  # all at t=0
+    m.run()
+    subs = entry_of(m, block).ru_subscribers
+    assert sorted(subs) == [1, 2, 3, 4, 5]
+    check_ru_lists(m)
+    # FIFO deferral => node 1's request processed first => it is deepest.
+    assert subs[-1] == 1
+
+
+def test_chain_mode_list_surgery():
+    """The chain propagation mode maintains the same list invariants."""
+    cfg = MachineConfig(
+        n_nodes=8, cache_blocks=64, cache_assoc=2, ru_propagation="chain"
+    )
+    m = Machine(cfg, protocol="primitives")
+    block = m.alloc_block()
+    addr = m.amap.word_addr(block, 0)
+
+    def sub(p, d):
+        yield p.sim.timeout(d)
+        yield from p.read_update(addr)
+
+    def leave_then_write():
+        p3 = m.processor(3)
+        yield p3.sim.timeout(400)
+        yield from p3.reset_update(addr)
+        pw = m.processor(0)
+        yield from pw.write_global(addr, 9)
+        yield from pw.flush()
+
+    for i, nid in enumerate((1, 3, 5)):
+        m.spawn(sub(m.processor(nid), i * 100))
+    m.spawn(leave_then_write())
+    m.run()
+    check_ru_lists(m)
+    assert m.nodes[1].cache.peek(block).data[0] == 9
+    assert m.nodes[5].cache.peek(block).data[0] == 9
+    assert m.nodes[3].cache.peek(block).data[0] == 0  # unsubscribed first

@@ -1,0 +1,203 @@
+"""Integration tests: hardware counting semaphores."""
+
+import pytest
+
+from repro import HWSemaphore, Machine, MachineConfig
+from repro.network import MessageType
+
+
+def machine(n=8, protocol="primitives"):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=64, cache_assoc=2)
+    return Machine(cfg, protocol=protocol)
+
+
+def test_binary_semaphore_mutual_exclusion():
+    m = machine()
+    sem = HWSemaphore(m, initial=1)
+    in_cs, violations = [], []
+
+    def w(p):
+        for _ in range(3):
+            yield from sem.p(p)
+            if in_cs:
+                violations.append(p.node_id)
+            in_cs.append(p.node_id)
+            yield from p.compute(13)
+            in_cs.pop()
+            yield from sem.v(p)
+
+    for i in range(6):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert violations == []
+
+
+def test_counting_semaphore_bounds_concurrency():
+    m = machine()
+    sem = HWSemaphore(m, initial=3)
+    active, peak = [0], [0]
+
+    def w(p):
+        yield from sem.p(p)
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        yield from p.compute(100)
+        active[0] -= 1
+        yield from sem.v(p)
+
+    for i in range(8):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert peak[0] == 3  # exactly the semaphore's capacity used
+
+
+def test_fifo_wakeup_order():
+    m = machine()
+    sem = HWSemaphore(m, initial=1)
+    order = []
+
+    def w(p, delay):
+        yield p.sim.timeout(delay)
+        yield from sem.p(p)
+        order.append(p.node_id)
+        yield from p.compute(50)
+        yield from sem.v(p)
+
+    for i in range(5):
+        m.spawn(w(m.processor(i), i * 10))
+    m.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_zero_initial_blocks_until_v():
+    m = machine()
+    sem = HWSemaphore(m, initial=0)
+    log = []
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def consumer():
+        yield from sem.p(p0)
+        log.append(("consumed", p0.sim.now))
+
+    def producer():
+        yield p1.sim.timeout(300)
+        yield from sem.v(p1)
+
+    m.spawn(consumer())
+    m.spawn(producer())
+    m.run()
+    assert log and log[0][1] >= 300
+
+
+def test_producer_consumer_pipeline():
+    """Classic bounded-buffer with two semaphores."""
+    m = machine()
+    slots = HWSemaphore(m, initial=2)  # empty slots
+    items = HWSemaphore(m, initial=0)  # filled slots
+    buf = []
+    consumed = []
+    prod = m.processor(0)
+    cons = m.processor(1)
+
+    def producer():
+        for k in range(6):
+            yield from slots.p(prod)
+            buf.append(k)
+            yield from prod.compute(10)
+            yield from items.v(prod)
+
+    def consumer():
+        for _ in range(6):
+            yield from items.p(cons)
+            consumed.append(buf.pop(0))
+            yield from cons.compute(25)
+            yield from slots.v(cons)
+
+    m.spawn(producer())
+    m.spawn(consumer())
+    m.run()
+    assert consumed == list(range(6))
+    assert len(buf) == 0
+
+
+def test_p_is_np_synch_v_is_cp_synch_under_bc():
+    """P must not flush the write buffer; V must."""
+    m = machine()
+    sem = HWSemaphore(m, initial=1)
+    p = m.processor(0, consistency="bc")
+    observed = {}
+
+    def w():
+        for _ in range(5):
+            yield from p.shared_write(m.alloc_word(), 1)
+        observed["before_p"] = m.nodes[0].write_buffer.pending_count
+        yield from sem.p(p)
+        observed["after_p"] = m.nodes[0].write_buffer.pending_count
+        yield from sem.v(p)
+        observed["after_v"] = m.nodes[0].write_buffer.pending_count
+
+    m.spawn(w())
+    m.run()
+    assert observed["before_p"] > 0  # writes were pending
+    # V flushed before issuing (CP-Synch).
+    assert observed["after_v"] == 0
+
+
+def test_sem_message_costs():
+    """Uncontended P/V: two messages for P (req+grant), one for V."""
+    m = machine(n=4)
+    sem = HWSemaphore(m, initial=1)
+    p = m.processor(2)
+
+    def w():
+        yield from sem.p(p)
+        yield from sem.v(p)
+
+    m.spawn(w())
+    m.run()
+    assert m.net.count_of(MessageType.SEM_P) == 1
+    assert m.net.count_of(MessageType.SEM_GRANT) == 1
+    assert m.net.count_of(MessageType.SEM_V) == 1
+    assert m.net.count_of(MessageType.SEM_ACK) == 0
+
+
+def test_semaphore_as_lock_object():
+    """The acquire/release aliases let a binary semaphore replace a lock."""
+    m = machine()
+    sem = HWSemaphore(m, initial=1)
+    counter = {"v": 0}
+
+    def w(p):
+        yield from p.acquire(sem)
+        counter["v"] += 1
+        yield from p.compute(10)
+        yield from p.release(sem)
+
+    for i in range(4):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert counter["v"] == 4
+
+
+def test_negative_initial_rejected():
+    m = machine(n=2)
+    with pytest.raises(ValueError):
+        HWSemaphore(m, initial=-1)
+
+
+def test_semaphores_on_all_protocols():
+    for protocol in ("wbi", "primitives", "writeupdate"):
+        m = machine(n=4, protocol=protocol)
+        sem = HWSemaphore(m, initial=1)
+        done = []
+
+        def w(p):
+            yield from sem.p(p)
+            yield from p.compute(5)
+            yield from sem.v(p)
+            done.append(p.node_id)
+
+        for i in range(4):
+            m.spawn(w(m.processor(i)))
+        m.run()
+        assert len(done) == 4, protocol

@@ -1,0 +1,278 @@
+"""Integration tests: WBI directory protocol on a full machine."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+
+
+def small_machine(n=4, **kw):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=64, cache_assoc=2, **kw)
+    return Machine(cfg, protocol="wbi")
+
+
+def run_one(m, gen):
+    out = {}
+
+    def wrapper():
+        out["value"] = yield from gen
+        return out.get("value")
+
+    m.spawn(wrapper())
+    m.run()
+    return out.get("value")
+
+
+def test_read_returns_memory_value():
+    m = small_machine()
+    addr = m.alloc_word()
+    m.poke(addr, 42)
+    p = m.processor(1)
+    assert run_one(m, p.read(addr)) == 42
+
+
+def test_read_default_zero():
+    m = small_machine()
+    addr = m.alloc_word()
+    p = m.processor(0)
+    assert run_one(m, p.read(addr)) == 0
+
+
+def test_write_then_read_same_node():
+    m = small_machine()
+    addr = m.alloc_word()
+    p = m.processor(2)
+
+    def w():
+        yield from p.write(addr, 7)
+        v = yield from p.read(addr)
+        return v
+
+    assert run_one(m, w()) == 7
+
+
+def test_write_visible_to_other_node():
+    m = small_machine()
+    addr = m.alloc_word()
+    p0, p1 = m.processor(0), m.processor(1)
+    log = []
+
+    def writer():
+        yield from p0.write(addr, 99)
+        log.append("written")
+
+    def reader():
+        yield p0.sim.timeout(500)  # after the write completes
+        v = yield from p1.read(addr)
+        log.append(v)
+
+    m.spawn(writer())
+    m.spawn(reader())
+    m.run()
+    assert log == ["written", 99]
+
+
+def test_dirty_data_recalled_from_owner():
+    """A read miss must recall the dirty block from its exclusive owner."""
+    m = small_machine()
+    addr = m.alloc_word()
+    results = []
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def writer():
+        yield from p0.write(addr, 5)  # exclusive dirty at node 0
+
+    def reader():
+        yield p1.sim.timeout(200)
+        v = yield from p1.read(addr)
+        results.append(v)
+
+    m.spawn(writer())
+    m.spawn(reader())
+    m.run()
+    assert results == [5]
+    # Home must have recalled it: a FETCH went out.
+    from repro.network import MessageType
+
+    assert m.net.count_of(MessageType.FETCH) >= 1
+
+
+def test_write_invalidates_sharers():
+    m = small_machine()
+    addr = m.alloc_word()
+    p0, p1, p2 = m.processor(0), m.processor(1), m.processor(2)
+    seen = []
+
+    def sharer(p):
+        v = yield from p.read(addr)
+        seen.append(v)
+
+    def writer():
+        yield p0.sim.timeout(300)  # let both sharers cache it
+        yield from p0.write(addr, 1)
+
+    def late_reader():
+        yield p1.sim.timeout(800)
+        v = yield from p1.read(addr)
+        seen.append(v)
+
+    m.spawn(sharer(p1))
+    m.spawn(sharer(p2))
+    m.spawn(writer())
+    m.spawn(late_reader())
+    m.run()
+    from repro.network import MessageType
+
+    assert m.net.count_of(MessageType.INV) >= 2
+    assert seen[-1] == 1
+
+
+def test_upgrade_path_used_for_shared_hit():
+    m = small_machine()
+    addr = m.alloc_word()
+    p = m.processor(3)
+
+    def w():
+        yield from p.read(addr)  # SHARED copy
+        yield from p.write(addr, 2)  # upgrade, not write miss
+
+    m.spawn(w())
+    m.run()
+    from repro.network import MessageType
+
+    assert m.net.count_of(MessageType.UPGRADE) == 1
+    assert m.net.count_of(MessageType.UPGRADE_ACK) == 1
+
+
+def test_exclusive_write_hit_no_traffic():
+    m = small_machine()
+    addr = m.alloc_word()
+    p = m.processor(1)
+
+    def w():
+        yield from p.write(addr, 1)
+        before = m.net.message_count
+        yield from p.write(addr, 2)  # exclusive hit: silent
+        yield from p.write(addr, 3)
+        return before
+
+    before = run_one(m, w())
+    assert m.net.message_count == before
+
+
+def test_rmw_test_set_semantics():
+    m = small_machine()
+    addr = m.alloc_word()
+    p0, p1 = m.processor(0), m.processor(1)
+    olds = []
+
+    def racer(p):
+        old = yield from p.rmw(addr, "test_set")
+        olds.append(old)
+
+    m.spawn(racer(p0))
+    m.spawn(racer(p1))
+    m.run()
+    assert sorted(olds) == [0, 1]  # exactly one winner
+
+
+def test_rmw_fetch_add_accumulates():
+    m = small_machine()
+    addr = m.alloc_word()
+    results = []
+
+    def adder(p):
+        old = yield from p.rmw(addr, "fetch_add", 1)
+        results.append(old)
+
+    for i in range(4):
+        m.spawn(adder(m.processor(i)))
+    m.run()
+    assert sorted(results) == [0, 1, 2, 3]
+    assert m.peek_memory(addr) == 4
+
+
+def test_rmw_invalidates_cached_copies():
+    m = small_machine()
+    addr = m.alloc_word()
+    p0, p1 = m.processor(0), m.processor(1)
+    vals = []
+
+    def reader_then_check():
+        yield from p0.read(addr)  # cache a copy
+        yield p0.sim.timeout(500)  # p1's RMW invalidates it
+        v = yield from p0.read(addr)  # must re-fetch, see new value
+        vals.append(v)
+
+    def rmw_guy():
+        yield p1.sim.timeout(100)
+        yield from p1.rmw(addr, "write", 77)
+
+    m.spawn(reader_then_check())
+    m.spawn(rmw_guy())
+    m.run()
+    assert vals == [77]
+
+
+def test_eviction_writes_back_dirty_data():
+    """Fill a set so a dirty line is evicted, then read it back elsewhere."""
+    cfg = MachineConfig(n_nodes=2, cache_blocks=4, cache_assoc=1)
+    m = Machine(cfg, protocol="wbi")
+    p = m.processor(0)
+    # Two word addresses mapping to the same cache set (4 sets, 1 way):
+    # block 0 and block 4 share set 0.
+    a0 = m.amap.word_addr(0, 0)
+    a4 = m.amap.word_addr(4, 0)
+    vals = []
+
+    def w():
+        yield from p.write(a0, 11)  # dirty in cache
+        yield from p.write(a4, 22)  # evicts block 0 -> writeback
+        v = yield from p.read(a0)  # re-fetch from memory
+        vals.append(v)
+
+    m.spawn(w())
+    m.run()
+    assert vals == [11]
+    from repro.network import MessageType
+
+    assert m.net.count_of(MessageType.WRITEBACK) >= 1
+
+
+def test_many_writers_serialize_correctly():
+    """n writers incrementing via rmw end with exactly n in memory."""
+    m = small_machine(n=8)
+    addr = m.alloc_word()
+
+    def incr(p):
+        for _ in range(5):
+            yield from p.rmw(addr, "fetch_add", 1)
+
+    for i in range(8):
+        m.spawn(incr(m.processor(i)))
+    m.run()
+    assert m.peek_memory(addr) == 40
+
+
+def test_false_sharing_pingpong_under_wbi():
+    """Two nodes writing different words of the same block ping-pong the
+    line (the false-sharing problem motivating per-word dirty bits)."""
+    m = small_machine(n=2)
+    block = m.alloc_block()
+    a0 = m.amap.word_addr(block, 0)
+    a1 = m.amap.word_addr(block, 1)
+
+    def writer(p, addr):
+        for v in range(5):
+            yield from p.write(addr, v)
+            yield from p.compute(10)
+
+    m.spawn(writer(m.processor(0), a0))
+    m.spawn(writer(m.processor(1), a1))
+    m.run()
+    # Each write needs exclusivity: ownership bounces between the nodes.
+    from repro.network import MessageType
+
+    recalls = m.net.count_of(MessageType.FETCH_INV)
+    assert recalls >= 4
+    # Both final values are correct despite the ping-pong.
+    assert m.peek_memory(a0) == 4 or m.nodes[0].cache.peek(block) is not None

@@ -1,0 +1,133 @@
+"""Race-path tests for the WBI protocol: transactions that interleave at
+the home directory and must resolve through the degraded/stale paths."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.network import MessageType
+from repro.verify import check_all
+
+
+def machine(n=4):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=64, cache_assoc=2)
+    return Machine(cfg, protocol="wbi")
+
+
+def test_upgrade_degrades_to_write_miss_when_copy_lost():
+    """P0 upgrades a SHARED copy while P1's WRITE_MISS invalidates it: the
+    home must answer P0's upgrade with fresh exclusive data, and both
+    writes must serialize without loss."""
+    m = machine()
+    addr = m.alloc_word()
+    p0, p1 = m.processor(0), m.processor(1)
+    done = []
+
+    def sharer_then_upgrader():
+        yield from p0.read(addr)  # SHARED at node 0
+        # Issue the upgrade just after P1's write miss is sent but before
+        # the resulting INV can arrive (absolute-time anchored).
+        yield p0.sim.timeout(201 - p0.sim.now)
+        yield from p0.write(addr, 100)  # UPGRADE in flight during the INV
+        done.append("p0")
+
+    def overtaking_writer():
+        yield p1.sim.timeout(200 - p1.sim.now)
+        yield from p1.write(addr, 200)
+        done.append("p1")
+
+    m.spawn(sharer_then_upgrader())
+    m.spawn(overtaking_writer())
+    m.run()
+    assert sorted(done) == ["p0", "p1"]
+    check_all(m)
+    # The upgrade was answered with data (degraded path), not a pure ack.
+    assert m.net.count_of(MessageType.UPGRADE) == 1
+    assert m.net.count_of(MessageType.UPGRADE_ACK) == 0
+    assert m.net.count_of(MessageType.DATA_BLOCK_EXCL) == 2
+    # P0's write serialized after P1's: its value survives in its cache.
+    line = m.nodes[0].cache.peek(m.amap.block_of(addr))
+    assert line is not None and line.data[m.amap.offset_of(addr)] == 100
+
+
+def test_concurrent_upgrades_one_degrades():
+    """Two sharers upgrade simultaneously: one wins a pure upgrade, the
+    other is invalidated and degraded to a data response."""
+    m = machine()
+    addr = m.alloc_word()
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def w(p, value):
+        yield from p.read(addr)
+        yield p.sim.timeout(200 - p.sim.now)  # both upgrade at the same instant
+        yield from p.write(addr, value)
+
+    m.spawn(w(p0, 111))
+    m.spawn(w(p1, 222))
+    m.run()
+    check_all(m)
+    assert m.net.count_of(MessageType.UPGRADE) == 2
+    assert m.net.count_of(MessageType.UPGRADE_ACK) == 1
+    assert m.net.count_of(MessageType.DATA_BLOCK_EXCL) == 1
+    # Exactly one final owner, holding the serialized-last value.
+    owners = [
+        nid
+        for nid in range(4)
+        if (l := m.nodes[nid].cache.peek(m.amap.block_of(addr))) is not None and l.valid
+    ]
+    assert len(owners) == 1
+
+
+def test_stale_writeback_discarded():
+    """A WRITEBACK that raced with a FETCH the owner already answered is
+    recognized as stale and acked without corrupting memory."""
+    cfg = MachineConfig(n_nodes=2, cache_blocks=4, cache_assoc=1)
+    m = Machine(cfg, protocol="wbi")
+    addr0 = m.amap.word_addr(0, 0)
+    addr4 = m.amap.word_addr(4, 0)  # conflicts with block 0
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def owner():
+        yield from p0.write(addr0, 77)  # dirty exclusive at node 0
+        yield p0.sim.timeout(100)
+        # Evicting block 0 (writeback) races with p1's read miss below.
+        yield from p0.read(addr4)
+
+    def reader():
+        yield p1.sim.timeout(100)
+        v = yield from p1.read(addr0)
+        assert v == 77  # the dirty value must never be lost
+
+    m.spawn(owner())
+    m.spawn(reader())
+    m.run()
+    check_all(m)
+    assert m.peek_memory(addr0) == 77
+
+
+def test_rmw_storm_on_contended_block_stays_coherent():
+    """Many RMWs + reads + writes on one block: every path through the
+    directory (recall, invalidate, defer) fires; invariants hold."""
+    m = machine(n=8)
+    addr = m.alloc_word()
+
+    def w(p):
+        for k in range(4):
+            yield from p.rmw(addr, "fetch_add", 1)
+            v = yield from p.read(addr)
+            assert v >= 1
+            yield from p.write(addr + 1, p.node_id)  # same block, other word
+
+    for i in range(8):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    check_all(m)
+    # fetch_adds all landed (reads/writes may have raced, adds may not).
+    final = []
+
+    def check(p):
+        v = yield from p.read(addr)
+        final.append(v)
+
+    m.spawn(check(m.processor(0)))
+    m.run()
+    assert final == [32]

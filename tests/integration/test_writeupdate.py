@@ -1,0 +1,171 @@
+"""Integration tests: the sender-initiated write-update comparator."""
+
+import pytest
+
+from repro import Machine, MachineConfig, TSLock, TTSLock
+from repro.network import MessageType
+
+
+def wu_machine(n=4, **kw):
+    cfg = MachineConfig(n_nodes=n, cache_blocks=64, cache_assoc=2, **kw)
+    return Machine(cfg, protocol="writeupdate")
+
+
+def test_read_then_remote_write_pushes_update():
+    m = wu_machine()
+    addr = m.alloc_word()
+    m.poke(addr, 1)
+    vals = []
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def reader():
+        v = yield from p1.read(addr)
+        vals.append(v)
+        yield p1.sim.timeout(500)
+        v = yield from p1.read(addr)  # updated in place, no miss
+        vals.append(v)
+
+    def writer():
+        yield p0.sim.timeout(100)
+        yield from p0.write(addr, 2)
+
+    m.spawn(reader())
+    m.spawn(writer())
+    m.run()
+    assert vals == [1, 2]
+    assert m.net.count_of(MessageType.WU_UPDATE) == 1
+
+
+def test_write_through_reaches_memory():
+    m = wu_machine()
+    addr = m.alloc_word()
+    p = m.processor(0)
+
+    def w():
+        yield from p.write(addr, 9)
+
+    m.spawn(w())
+    m.run()
+    assert m.peek_memory(addr) == 9
+
+
+def test_second_read_is_local_hit():
+    m = wu_machine()
+    addr = m.alloc_word()
+    p = m.processor(1)
+
+    def w():
+        yield from p.read(addr)
+        before = m.net.message_count
+        yield from p.read(addr)
+        return m.net.message_count - before
+
+    out = {}
+
+    def wrap():
+        out["delta"] = yield from w()
+
+    m.spawn(wrap())
+    m.run()
+    assert out["delta"] == 0
+
+
+def test_readers_stay_registered_forever():
+    """The paper's critique: updates keep flowing to past readers."""
+    m = wu_machine()
+    addr = m.alloc_word()
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def reader():
+        yield from p1.read(addr)  # reads once, never again
+
+    def writer():
+        yield p0.sim.timeout(200)
+        for k in range(5):
+            yield from p0.write(addr, k)
+
+    m.spawn(reader())
+    m.spawn(writer())
+    m.run()
+    # All five writes pushed to the no-longer-interested reader.
+    assert m.net.count_of(MessageType.WU_UPDATE) == 5
+
+
+def test_eviction_deregisters_reader():
+    cfg = MachineConfig(n_nodes=2, cache_blocks=4, cache_assoc=1)
+    m = Machine(cfg, protocol="writeupdate")
+    a0 = m.amap.word_addr(0, 0)
+    a4 = m.amap.word_addr(4, 0)  # same set as block 0
+    p0, p1 = m.processor(0), m.processor(1)
+
+    def reader():
+        yield from p1.read(a0)
+        yield from p1.read(a4)  # evicts block 0 -> WU_EVICT
+
+    def writer():
+        yield p0.sim.timeout(500)
+        yield from p0.write(a0, 7)
+
+    m.spawn(reader())
+    m.spawn(writer())
+    m.run()
+    assert m.net.count_of(MessageType.WU_EVICT) >= 1
+    # After deregistration the write pushes to nobody.
+    assert m.net.count_of(MessageType.WU_UPDATE) == 0
+
+
+def test_rmw_pushes_new_value_to_sharers():
+    m = wu_machine()
+    addr = m.alloc_word()
+    p0, p1 = m.processor(0), m.processor(1)
+    vals = []
+
+    def reader():
+        yield from p1.read(addr)
+        yield p1.sim.timeout(500)
+        v = yield from p1.read(addr)
+        vals.append(v)
+
+    def rmw_guy():
+        yield p0.sim.timeout(100)
+        yield from p0.rmw(addr, "fetch_add", 5)
+
+    m.spawn(reader())
+    m.spawn(rmw_guy())
+    m.run()
+    assert vals == [5]
+
+
+def test_spin_locks_work_on_wu_machine():
+    """watch_invalidation fires on pushed updates, so TTS spins correctly."""
+    m = wu_machine(n=4)
+    lock = TTSLock(m)
+    counter = m.alloc_word()
+
+    def w(p):
+        for _ in range(2):
+            yield from p.acquire(lock)
+            v = yield from p.read(counter)
+            yield from p.compute(5)
+            yield from p.write(counter, v + 1)
+            yield from p.release(lock)
+
+    for i in range(4):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert m.peek_memory(counter) == 8
+
+
+def test_concurrent_rmw_serialize():
+    m = wu_machine(n=8)
+    addr = m.alloc_word()
+    olds = []
+
+    def f(p):
+        old = yield from p.rmw(addr, "fetch_add", 1)
+        olds.append(old)
+
+    for i in range(8):
+        m.spawn(f(m.processor(i)))
+    m.run()
+    assert sorted(olds) == list(range(8))

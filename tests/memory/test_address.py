@@ -1,0 +1,54 @@
+"""Unit tests for address mapping."""
+
+import pytest
+
+from repro.memory import AddressMap
+
+
+def test_block_and_offset():
+    amap = AddressMap(n_nodes=4, words_per_block=4)
+    assert amap.block_of(0) == 0
+    assert amap.block_of(3) == 0
+    assert amap.block_of(4) == 1
+    assert amap.offset_of(5) == 1
+    assert amap.offset_of(4) == 0
+
+
+def test_word_addr_roundtrip():
+    amap = AddressMap(n_nodes=8, words_per_block=4)
+    for block in (0, 3, 17):
+        for off in range(4):
+            w = amap.word_addr(block, off)
+            assert amap.block_of(w) == block
+            assert amap.offset_of(w) == off
+
+
+def test_word_addr_offset_range_checked():
+    amap = AddressMap(n_nodes=2, words_per_block=4)
+    with pytest.raises(ValueError):
+        amap.word_addr(0, 4)
+
+
+def test_home_interleaving():
+    amap = AddressMap(n_nodes=4, words_per_block=4)
+    assert [amap.home_of(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_words_of_block():
+    amap = AddressMap(n_nodes=2, words_per_block=4)
+    assert list(amap.words_of(2)) == [8, 9, 10, 11]
+
+
+def test_negative_rejected():
+    amap = AddressMap(n_nodes=2, words_per_block=4)
+    with pytest.raises(ValueError):
+        amap.block_of(-1)
+    with pytest.raises(ValueError):
+        amap.home_of(-1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AddressMap(n_nodes=0, words_per_block=4)
+    with pytest.raises(ValueError):
+        AddressMap(n_nodes=2, words_per_block=0)

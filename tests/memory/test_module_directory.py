@@ -1,0 +1,105 @@
+"""Unit tests for memory modules and the central directory."""
+
+import pytest
+
+from repro.memory import AddressMap, Directory, DirState, MemoryModule, Usage
+from repro.network import Message, MessageType
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(n_nodes=4, words_per_block=4)
+
+
+# ---------------------------------------------------------------- module
+
+
+def test_memory_defaults_to_zero(amap):
+    mem = MemoryModule(0, amap)
+    assert mem.read_word(0) == 0
+    assert mem.read_block(0) == [0, 0, 0, 0]
+
+
+def test_memory_word_write_read(amap):
+    mem = MemoryModule(1, amap)  # block 1 homed at node 1
+    addr = amap.word_addr(1, 2)
+    mem.write_word(addr, 99)
+    assert mem.read_word(addr) == 99
+
+
+def test_memory_rejects_foreign_blocks(amap):
+    mem = MemoryModule(0, amap)
+    with pytest.raises(ValueError):
+        mem.read_block(1)  # homed at node 1
+    with pytest.raises(ValueError):
+        mem.write_word(amap.word_addr(2, 0), 5)
+
+
+def test_memory_block_write_read(amap):
+    mem = MemoryModule(2, amap)
+    mem.write_block(2, [1, 2, 3, 4])
+    assert mem.read_block(2) == [1, 2, 3, 4]
+
+
+def test_memory_block_write_size_checked(amap):
+    mem = MemoryModule(2, amap)
+    with pytest.raises(ValueError):
+        mem.write_block(2, [1, 2])
+
+
+def test_write_dirty_words_merges_only_dirty(amap):
+    """The per-word dirty mask write-back: two writers to different words of
+    one block must not clobber each other."""
+    mem = MemoryModule(0, amap)
+    mem.write_block(0, [10, 20, 30, 40])
+    # Writer A dirtied word 0 only; its stale copy of word 2 must not land.
+    mem.write_dirty_words(0, [111, 0, 0, 0], dirty_mask=0b0001)
+    # Writer B dirtied word 2 only.
+    mem.write_dirty_words(0, [0, 0, 333, 0], dirty_mask=0b0100)
+    assert mem.read_block(0) == [111, 20, 333, 40]
+
+
+def test_memory_cycle_time_validation(amap):
+    with pytest.raises(ValueError):
+        MemoryModule(0, amap, cycle_time=0)
+
+
+# ---------------------------------------------------------------- directory
+
+
+def test_directory_entry_created_on_demand():
+    d = Directory(0)
+    assert 5 not in d
+    e = d.entry(5)
+    assert e.block == 5
+    assert 5 in d
+    assert d.entry(5) is e
+
+
+def test_directory_entry_defaults():
+    e = Directory(0).entry(1)
+    assert e.usage is Usage.NONE
+    assert e.state is DirState.UNOWNED
+    assert e.queue_pointer is None
+    assert e.sharers == set()
+    assert e.owner is None
+    assert not e.busy
+    assert not e.lock_held
+
+
+def test_directory_defer_replay_fifo():
+    e = Directory(0).entry(1)
+    m1 = Message(0, 1, MessageType.READ_MISS, addr=1)
+    m2 = Message(2, 1, MessageType.READ_MISS, addr=1)
+    e.defer(m1)
+    e.defer(m2)
+    assert e.pop_deferred() is m1
+    assert e.pop_deferred() is m2
+    assert e.pop_deferred() is None
+
+
+def test_directory_known_blocks():
+    d = Directory(3)
+    d.entry(3)
+    d.entry(7)
+    assert sorted(d.known_blocks()) == [3, 7]

@@ -1,0 +1,41 @@
+"""Unit tests for message sizing and identity."""
+
+from repro.network import Message, MessageType, SizeClass, flit_size
+
+
+def test_every_message_type_has_a_size_class():
+    for mt in MessageType:
+        msg = Message(src=0, dst=1, mtype=mt)
+        assert isinstance(msg.size_class, SizeClass)
+
+
+def test_flit_sizes():
+    B = 4
+    assert flit_size(SizeClass.CONTROL, B) == 1
+    assert flit_size(SizeClass.INVALIDATION, B) == 1
+    assert flit_size(SizeClass.WORD, B) == 2
+    assert flit_size(SizeClass.BLOCK, B) == 5
+
+
+def test_block_messages_scale_with_block_size():
+    msg = Message(0, 1, MessageType.DATA_BLOCK)
+    assert msg.flits(4) == 5
+    assert msg.flits(8) == 9
+
+
+def test_control_messages_are_single_flit():
+    assert Message(0, 1, MessageType.READ_MISS).flits(16) == 1
+    assert Message(0, 1, MessageType.INV).flits(16) == 1
+
+
+def test_message_ids_unique_and_increasing():
+    a = Message(0, 1, MessageType.READ_MISS)
+    b = Message(0, 1, MessageType.READ_MISS)
+    assert b.msg_id > a.msg_id
+
+
+def test_info_dict_is_per_message():
+    a = Message(0, 1, MessageType.READ_MISS)
+    b = Message(0, 1, MessageType.READ_MISS)
+    a.info["x"] = 1
+    assert "x" not in b.info

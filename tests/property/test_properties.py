@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import LineState, SetAssocCache
+from repro.coherence.wbi import apply_rmw
+from repro.memory import AddressMap
+from repro.network import num_stages, omega_route
+from repro.sim import RngStreams, Simulator, Store, Tally
+from repro.workloads.workqueue import _TaskGraph
+
+
+# ----------------------------------------------------------------- address map
+
+
+@given(
+    n_nodes=st.sampled_from([1, 2, 4, 8, 16, 64]),
+    wpb=st.integers(1, 16),
+    addr=st.integers(0, 10**6),
+)
+def test_address_roundtrip(n_nodes, wpb, addr):
+    amap = AddressMap(n_nodes, wpb)
+    block, off = amap.block_of(addr), amap.offset_of(addr)
+    assert amap.word_addr(block, off) == addr
+    assert 0 <= amap.home_of(block) < n_nodes
+
+
+@given(n_nodes=st.sampled_from([2, 4, 8]), wpb=st.integers(1, 8), block=st.integers(0, 1000))
+def test_words_of_block_partition(n_nodes, wpb, block):
+    amap = AddressMap(n_nodes, wpb)
+    words = list(amap.words_of(block))
+    assert len(words) == wpb
+    assert all(amap.block_of(w) == block for w in words)
+
+
+# ----------------------------------------------------------------- omega routing
+
+
+@given(
+    n=st.sampled_from([2, 4, 8, 16, 32, 64, 128]),
+    data=st.data(),
+)
+def test_omega_route_properties(n, data):
+    src = data.draw(st.integers(0, n - 1))
+    dst = data.draw(st.integers(0, n - 1))
+    wires = omega_route(src, dst, n)
+    assert len(wires) == num_stages(n)
+    assert wires[-1] == dst
+    assert all(0 <= w < n for w in wires)
+
+
+@given(n=st.sampled_from([4, 8, 16]), data=st.data())
+def test_omega_routes_to_same_dst_converge_monotonically(n, data):
+    """Once two paths to the same destination merge, they stay merged."""
+    dst = data.draw(st.integers(0, n - 1))
+    s1 = data.draw(st.integers(0, n - 1))
+    s2 = data.draw(st.integers(0, n - 1))
+    r1, r2 = omega_route(s1, dst, n), omega_route(s2, dst, n)
+    merged = False
+    for w1, w2 in zip(r1, r2):
+        if merged:
+            assert w1 == w2
+        if w1 == w2:
+            merged = True
+    assert merged  # they at least share the final wire
+
+
+# ----------------------------------------------------------------- tally
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1), st.lists(st.floats(-1e6, 1e6), min_size=1))
+def test_tally_merge_equals_pooled(xs, ys):
+    a, b, pooled = Tally(), Tally(), Tally()
+    for x in xs:
+        a.observe(x)
+        pooled.observe(x)
+    for y in ys:
+        b.observe(y)
+        pooled.observe(y)
+    a.merge(b)
+    assert a.n == pooled.n
+    assert abs(a.mean - pooled.mean) < 1e-6 * max(1.0, abs(pooled.mean))
+    assert a.min == pooled.min and a.max == pooled.max
+
+
+# ----------------------------------------------------------------- store
+
+
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=60))
+def test_store_is_fifo_under_any_program(ops):
+    """Random interleavings of puts and gets preserve FIFO order."""
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+    next_item = [0]
+
+    def driver(sim):
+        for op in ops:
+            if op < 2:  # put (twice as likely)
+                yield store.put(next_item[0])
+                next_item[0] += 1
+            else:
+                if len(store) > 0:
+                    v = yield store.get()
+                    got.append(v)
+            yield sim.timeout(1)
+
+    sim.process(driver(sim))
+    sim.run()
+    assert got == sorted(got)
+    assert got == list(range(len(got)))
+
+
+# ----------------------------------------------------------------- cache
+
+
+@given(st.lists(st.integers(0, 40), min_size=1, max_size=200))
+def test_cache_structural_invariants(blocks):
+    cache = SetAssocCache(4, 2, 4)
+    now = 0.0
+    for b in blocks:
+        now += 1
+        if cache.peek(b) is None:
+            cache.install(b, [0] * 4, LineState.SHARED, now=now)
+        line = cache.lookup(b, now=now)
+        assert line is not None and line.block == b
+        # Set discipline: a block only ever lives in its own set.
+        assert cache.set_index(b) == cache.set_index(line.block)
+    for s in cache._sets:
+        assert sum(1 for l in s if l.valid) <= cache.assoc
+        valid_blocks = [l.block for l in s if l.valid]
+        assert len(set(valid_blocks)) == len(valid_blocks)  # no duplicates
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 3), st.integers(0, 99)), max_size=100))
+def test_cache_dirty_words_tracked_exactly(writes):
+    cache = SetAssocCache(4, 4, 4)
+    oracle = {}
+    for block, off, val in writes:
+        line = cache.peek(block)
+        if line is None:
+            line, _ = cache.install(block, [0] * 4, LineState.EXCLUSIVE)
+            oracle = {k: v for k, v in oracle.items() if k[0] != block or cache.peek(k[0])}
+        line.write_word(off, val)
+        oracle[(block, off)] = val
+    for (block, off), val in oracle.items():
+        line = cache.peek(block)
+        if line is not None:
+            assert line.read_word(off) == val
+            assert line.dirty_mask & (1 << off)
+
+
+# ----------------------------------------------------------------- rmw
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_rmw_semantics(old, operand):
+    assert apply_rmw("test_set", old, None) == 1
+    assert apply_rmw("swap", old, operand) == operand
+    assert apply_rmw("fetch_add", old, operand) == old + operand
+    assert apply_rmw("write", old, operand) == operand
+    assert apply_rmw("cas", old, (old, operand)) == operand
+    if old != operand:
+        assert apply_rmw("cas", old, (operand, 123)) == old
+
+
+# ----------------------------------------------------------------- rng
+
+
+@given(st.integers(0, 2**31), st.text(min_size=1, max_size=20))
+def test_rng_streams_reproducible(seed, name):
+    import numpy as np
+
+    a = RngStreams(seed).stream(name).random(5)
+    b = RngStreams(seed).stream(name).random(5)
+    assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------- task graph
+
+
+@given(
+    n_tasks=st.integers(1, 40),
+    dep_prob=st.floats(0, 1),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=50)
+def test_task_graph_always_drains_and_respects_deps(n_tasks, dep_prob, seed):
+    rng = RngStreams(seed).stream("g")
+    g = _TaskGraph(n_tasks, dep_prob, rng)
+    original_deps = [set(d) for d in g.deps]
+    completed = []
+    guard = 0
+    while not g.drained:
+        tid = g.take()
+        assert tid is not None, "graph starved"
+        assert all(d in g.completed for d in original_deps[tid]), "dep violated"
+        g.complete(tid)
+        completed.append(tid)
+        guard += 1
+        assert guard <= n_tasks + 1
+    assert sorted(completed) == list(range(n_tasks))

@@ -1,0 +1,139 @@
+"""Property-based tests on synchronization: reader/writer invariants under
+random lock programs, replay determinism, and barrier alignment."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CBLLock, HWBarrier, HWSemaphore, Machine, MachineConfig
+from repro.verify import check_all
+from repro.workloads import TraceEntry, replay
+
+
+@given(
+    n_nodes=st.sampled_from([2, 4, 8]),
+    ops_per_node=st.integers(1, 4),
+    mode_bits=st.integers(0, 2**16 - 1),
+    cs_len=st.integers(1, 40),
+)
+@settings(max_examples=20, deadline=None)
+def test_reader_writer_invariant_random_programs(n_nodes, ops_per_node, mode_bits, cs_len):
+    """For any interleaving of read/write lock requests: writers are
+    exclusive, readers may share, nothing deadlocks, data survives."""
+    cfg = MachineConfig(n_nodes=n_nodes, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="primitives")
+    lock = CBLLock(m)
+    state = {"readers": 0, "writers": 0}
+    violations = []
+
+    def w(p, seq):
+        for k, is_read in enumerate(seq):
+            mode = "read" if is_read else "write"
+            yield from p.acquire(lock, mode)
+            if mode == "read":
+                state["readers"] += 1
+                if state["writers"]:
+                    violations.append(("r-while-w", p.node_id))
+            else:
+                state["writers"] += 1
+                if state["writers"] > 1 or state["readers"]:
+                    violations.append(("w-conflict", p.node_id))
+            yield from p.compute(cs_len)
+            if mode == "read":
+                state["readers"] -= 1
+            else:
+                state["writers"] -= 1
+            yield from p.release(lock)
+            yield from p.compute(3)
+
+    bit = 0
+    for i in range(n_nodes):
+        seq = []
+        for k in range(ops_per_node):
+            seq.append(bool((mode_bits >> (bit % 16)) & 1))
+            bit += 1
+        m.spawn(w(m.processor(i), seq))
+    m.run()
+    assert violations == []
+    check_all(m)
+    # Queue fully drained.
+    home = m.nodes[m.amap.home_of(lock.block)]
+    assert home.directory.entry(lock.block).lock_queue == []
+
+
+@given(
+    n_nodes=st.sampled_from([2, 4]),
+    initial=st.integers(0, 3),
+    ops=st.integers(1, 4),
+)
+@settings(max_examples=15, deadline=None)
+def test_semaphore_conservation(n_nodes, initial, ops):
+    """P/V pairs conserve the semaphore count; capacity never exceeded."""
+    cfg = MachineConfig(n_nodes=n_nodes, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="primitives")
+    sem = HWSemaphore(m, initial=initial + 1)
+    active = [0]
+    peak = [0]
+
+    def w(p):
+        for _ in range(ops):
+            yield from sem.p(p)
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield from p.compute(11)
+            active[0] -= 1
+            yield from sem.v(p)
+
+    for i in range(n_nodes):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    assert peak[0] <= initial + 1
+    home = m.nodes[m.amap.home_of(sem.block)]
+    entry = home.directory.entry(sem.block)
+    assert entry.sem_count == initial + 1  # conserved
+    assert entry.sem_waiters == []
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_replay_is_deterministic(seed):
+    """Replaying the same trace twice gives identical completion times."""
+    trace = [
+        TraceEntry(node=i % 4, op="write_global", addr=(seed + i) % 16, value=i)
+        for i in range(12)
+    ] + [TraceEntry(node=i, op="flush") for i in range(4)]
+
+    def run():
+        cfg = MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2, seed=seed)
+        m = Machine(cfg, protocol="primitives")
+        return replay(m, trace)
+
+    assert run() == run()
+
+
+@given(
+    n_nodes=st.sampled_from([2, 4, 8]),
+    rounds=st.integers(1, 3),
+    skews=st.lists(st.integers(0, 200), min_size=8, max_size=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_barrier_never_releases_early(n_nodes, rounds, skews):
+    """No participant leaves barrier k before every participant reached it."""
+    cfg = MachineConfig(n_nodes=n_nodes, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="primitives")
+    bar = HWBarrier(m, n=n_nodes)
+    arrive = {}
+    leave = {}
+
+    def w(p, skew):
+        for r in range(rounds):
+            yield from p.compute(1 + skew)
+            arrive.setdefault(r, {})[p.node_id] = p.sim.now
+            yield from p.barrier(bar)
+            leave.setdefault(r, {})[p.node_id] = p.sim.now
+
+    for i in range(n_nodes):
+        m.spawn(w(m.processor(i), skews[i % len(skews)]))
+    m.run()
+    for r in range(rounds):
+        last_arrival = max(arrive[r].values())
+        first_leave = min(leave[r].values())
+        assert first_leave >= last_arrival

@@ -1,0 +1,302 @@
+"""Unit tests for stores, gates, resources, and semaphores."""
+
+import pytest
+
+from repro.sim import Simulator, Store, Gate, Resource, Semaphore, SimulationError
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_put_then_get_immediate():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def p(sim):
+        yield store.put("x")
+        v = yield store.get()
+        got.append(v)
+
+    sim.process(p(sim))
+    sim.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(sim):
+        v = yield store.get()
+        got.append((sim.now, v))
+
+    def putter(sim):
+        yield sim.timeout(8)
+        yield store.put("late")
+
+    sim.process(getter(sim))
+    sim.process(putter(sim))
+    sim.run()
+    assert got == [(8, "late")]
+
+
+def test_store_fifo_ordering_of_items():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def p(sim):
+        for x in (1, 2, 3):
+            yield store.put(x)
+        for _ in range(3):
+            v = yield store.get()
+            got.append(v)
+
+    sim.process(p(sim))
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_fifo_ordering_of_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(sim, tag):
+        v = yield store.get()
+        got.append((tag, v))
+
+    def putter(sim):
+        yield sim.timeout(1)
+        yield store.put("a")
+        yield store.put("b")
+
+    sim.process(getter(sim, "first"))
+    sim.process(getter(sim, "second"))
+    sim.process(putter(sim))
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim):
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")  # blocks until consumer takes "a"
+        log.append(("put-b", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(10)
+        v = yield store.get()
+        log.append(("got", v, sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert ("put-a", 0) in log
+    assert ("got", "a", 10) in log
+    assert ("put-b", 10) in log
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_try_put_and_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put(1) is True
+    assert store.try_put(2) is False
+    ok, v = store.try_get()
+    assert (ok, v) == (True, 1)
+    ok, v = store.try_get()
+    assert ok is False
+
+
+def test_store_len_tracks_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.try_put("a")
+    store.try_put("b")
+    assert len(store) == 2
+
+
+# ---------------------------------------------------------------- Gate
+
+
+def test_gate_releases_all_waiters():
+    sim = Simulator()
+    gate = Gate(sim)
+    woke = []
+
+    def waiter(sim, tag):
+        yield gate.wait()
+        woke.append((tag, sim.now))
+
+    def opener(sim):
+        yield sim.timeout(5)
+        gate.open()
+
+    for tag in "abc":
+        sim.process(waiter(sim, tag))
+    sim.process(opener(sim))
+    sim.run()
+    assert sorted(woke) == [("a", 5), ("b", 5), ("c", 5)]
+
+
+def test_open_gate_passes_through():
+    sim = Simulator()
+    gate = Gate(sim, open=True)
+    woke = []
+
+    def waiter(sim):
+        yield gate.wait()
+        woke.append(sim.now)
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert woke == [0]
+
+
+def test_gate_close_rearms():
+    sim = Simulator()
+    gate = Gate(sim, open=True)
+    gate.close()
+    woke = []
+
+    def waiter(sim):
+        yield gate.wait()
+        woke.append(sim.now)
+
+    def opener(sim):
+        yield sim.timeout(3)
+        gate.open()
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert woke == [3]
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_mutual_exclusion_and_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(sim, tag, hold):
+        yield res.request()
+        order.append((tag, "in", sim.now))
+        yield sim.timeout(hold)
+        order.append((tag, "out", sim.now))
+        res.release()
+
+    sim.process(user(sim, "a", 10))
+    sim.process(user(sim, "b", 5))
+    sim.run()
+    assert order == [
+        ("a", "in", 0),
+        ("a", "out", 10),
+        ("b", "in", 10),
+        ("b", "out", 15),
+    ]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    entered = []
+
+    def user(sim, tag):
+        yield res.request()
+        entered.append((tag, sim.now))
+        yield sim.timeout(10)
+        res.release()
+
+    for tag in "abc":
+        sim.process(user(sim, tag))
+    sim.run()
+    assert entered == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_queue_length():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim):
+        yield res.request()
+        yield sim.timeout(100)
+        res.release()
+
+    def waiter(sim):
+        yield res.request()
+        res.release()
+
+    sim.process(holder(sim))
+    sim.process(waiter(sim))
+    sim.process(waiter(sim))
+    sim.run(until=1)
+    assert res.queue_length == 2
+
+
+# ---------------------------------------------------------------- Semaphore
+
+
+def test_semaphore_initial_count_consumed():
+    sim = Simulator()
+    sem = Semaphore(sim, initial=2)
+    got = []
+
+    def p(sim, tag):
+        yield sem.acquire()
+        got.append((tag, sim.now))
+
+    for tag in "abc":
+        sim.process(p(sim, tag))
+
+    def releaser(sim):
+        yield sim.timeout(5)
+        sem.release()
+
+    sim.process(releaser(sim))
+    sim.run()
+    assert got == [("a", 0), ("b", 0), ("c", 5)]
+
+
+def test_semaphore_release_multiple():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    got = []
+
+    def p(sim, tag):
+        yield sem.acquire()
+        got.append(tag)
+
+    for tag in "ab":
+        sim.process(p(sim, tag))
+    sem.release(2)
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_semaphore_negative_initial_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, initial=-1)

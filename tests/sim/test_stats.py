@@ -1,0 +1,123 @@
+"""Unit tests for statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim import Counter, Histogram, StatSet, Tally, TimeWeighted
+
+
+def test_counter_add_and_get():
+    c = Counter()
+    c.add("msgs")
+    c.add("msgs", 4)
+    assert c.get("msgs") == 5
+    assert c["msgs"] == 5
+    assert c.get("absent") == 0
+
+
+def test_counter_total_and_merge():
+    a, b = Counter(), Counter()
+    a.add("x", 3)
+    b.add("x", 2)
+    b.add("y", 7)
+    a.merge(b)
+    assert a.as_dict() == {"x": 5, "y": 7}
+    assert a.total() == 12
+
+
+def test_tally_mean_variance():
+    t = Tally()
+    for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        t.observe(x)
+    assert t.n == 8
+    assert t.mean == pytest.approx(5.0)
+    assert t.stdev == pytest.approx(math.sqrt(32 / 7))
+    assert t.min == 2.0 and t.max == 9.0
+
+
+def test_tally_empty_defaults():
+    t = Tally()
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+
+
+def test_tally_merge_matches_pooled():
+    a, b, ref = Tally(), Tally(), Tally()
+    for x in (1.0, 2.0, 3.0):
+        a.observe(x)
+        ref.observe(x)
+    for x in (10.0, 20.0):
+        b.observe(x)
+        ref.observe(x)
+    a.merge(b)
+    assert a.n == ref.n
+    assert a.mean == pytest.approx(ref.mean)
+    assert a.variance == pytest.approx(ref.variance)
+    assert a.min == ref.min and a.max == ref.max
+
+
+def test_tally_merge_into_empty():
+    a, b = Tally(), Tally()
+    b.observe(5.0)
+    a.merge(b)
+    assert a.n == 1 and a.mean == 5.0
+
+
+def test_time_weighted_average():
+    tw = TimeWeighted()
+    tw.set(10, 2.0)  # level 0 for [0,10)
+    tw.set(20, 4.0)  # level 2 for [10,20)
+    # level 4 for [20,30)
+    assert tw.average(30) == pytest.approx((0 * 10 + 2 * 10 + 4 * 10) / 30)
+    assert tw.max == 4.0
+
+
+def test_time_weighted_adjust():
+    tw = TimeWeighted()
+    tw.adjust(5, +3)
+    tw.adjust(10, -1)
+    assert tw.level == 2
+    assert tw.average(10) == pytest.approx((0 * 5 + 3 * 5) / 10)
+
+
+def test_time_weighted_rejects_time_travel():
+    tw = TimeWeighted()
+    tw.set(10, 1.0)
+    with pytest.raises(ValueError):
+        tw.set(5, 2.0)
+
+
+def test_histogram_bins():
+    h = Histogram(0, 10, 5)
+    for x in (0.5, 1.5, 3.0, 9.9, 11.0, -1.0):
+        h.observe(x)
+    assert h.bins[0] == 2  # 0.5, 1.5
+    assert h.bins[1] == 1  # 3.0
+    assert h.bins[4] == 1  # 9.9
+    assert h.overflow == 1
+    assert h.underflow == 1
+    assert h.n == 6
+
+
+def test_histogram_fraction():
+    h = Histogram(0, 10, 10)
+    for x in range(10):
+        h.observe(x + 0.5)
+    assert h.fraction_at_or_below(4.9) == pytest.approx(0.5)
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram(0, 0, 5)
+    with pytest.raises(ValueError):
+        Histogram(0, 10, 0)
+
+
+def test_statset_creates_tallies_lazily():
+    s = StatSet()
+    s.observe("latency", 3.0)
+    s.observe("latency", 5.0)
+    assert s.tally("latency").mean == pytest.approx(4.0)
+    s.counters.add("msgs")
+    assert s.counters["msgs"] == 1

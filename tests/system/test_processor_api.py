@@ -1,0 +1,85 @@
+"""Unit tests for the Processor API surface."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+
+
+def test_primitives_rejected_on_wbi_machine():
+    m = Machine(MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2), protocol="wbi")
+    p = m.processor(0)
+
+    def w():
+        yield from p.read_update(0)
+
+    m.spawn(w())
+    with pytest.raises(RuntimeError, match="READ-UPDATE is a Table 1 primitive"):
+        m.run()
+
+
+def test_flush_rejected_on_writeupdate_machine():
+    m = Machine(
+        MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2), protocol="writeupdate"
+    )
+    p = m.processor(0)
+
+    def w():
+        yield from p.flush()
+
+    m.spawn(w())
+    with pytest.raises(RuntimeError, match="FLUSH-BUFFER"):
+        m.run()
+
+
+def test_processor_counters_track_operations():
+    m = Machine(
+        MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2), protocol="primitives"
+    )
+    p = m.processor(0, consistency="bc")
+    addr = m.alloc_word()
+
+    def w():
+        yield from p.read(addr)
+        yield from p.write(addr, 1)
+        yield from p.shared_read(addr)
+        yield from p.shared_write(addr, 2)
+        yield from p.flush()
+
+    m.spawn(w())
+    m.run()
+    c = p.stats.counters
+    assert c["reads"] == 1
+    assert c["writes"] == 1
+    assert c["shared_reads"] == 1
+    assert c["shared_writes"] == 1
+
+
+def test_consistency_instance_accepted():
+    from repro.consistency import BufferedConsistency
+
+    m = Machine(
+        MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2), protocol="primitives"
+    )
+    p = m.processor(0, consistency=BufferedConsistency())
+    assert p.model.name == "bc"
+
+
+def test_processor_binds_correct_node():
+    m = Machine(MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2), protocol="wbi")
+    p = m.processor(3)
+    assert p.node is m.nodes[3]
+    assert p.node_id == 3
+
+
+def test_experiments_quick_report_smoke():
+    """The one-shot report generator produces the expected sections."""
+    import io
+
+    from repro.experiments import run_report
+
+    buf = io.StringIO()
+    run_report(buf, quick=True)
+    text = buf.getvalue()
+    for section in ("Table 2", "Table 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7"):
+        assert section in text
+    assert "Q-CBL" in text and "BC-CBL" in text

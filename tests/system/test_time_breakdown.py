@@ -1,0 +1,81 @@
+"""Tests for the compute/data/sync cycle accounting."""
+
+import pytest
+
+from repro import CBLLock, Machine, MachineConfig
+
+
+def test_breakdown_buckets_populate():
+    m = Machine(MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2), protocol="primitives")
+    lock = CBLLock(m)
+    addr = m.alloc_word()
+    p = m.processor(0)
+
+    def w():
+        yield from p.compute(100)
+        yield from p.read(addr)
+        yield from p.acquire(lock)
+        yield from p.release(lock)
+
+    m.spawn(w())
+    m.run()
+    b = p.time_breakdown()
+    assert b["compute"] == 100
+    assert b["data"] > 0  # the read miss cost cycles
+    assert b["sync"] > 0  # the acquire/release cost cycles
+
+
+def test_contention_shows_up_as_sync_time():
+    """Under contention the sync bucket dominates; uncontended it is tiny.
+    This is the paper's argument for reporting completion time rather than
+    processor utilization."""
+
+    def sync_fraction(n_contenders):
+        m = Machine(
+            MachineConfig(n_nodes=8, cache_blocks=64, cache_assoc=2), protocol="primitives"
+        )
+        lock = CBLLock(m)
+
+        def w(p):
+            yield from p.acquire(lock)
+            yield from p.compute(200)
+            yield from p.release(lock)
+
+        for i in range(n_contenders):
+            m.spawn(w(m.processor(i)))
+        m.run()
+        b = m.time_breakdown()
+        total = sum(b.values())
+        return b["sync"] / total if total else 0.0
+
+    assert sync_fraction(8) > sync_fraction(1) * 2
+
+
+def test_machine_breakdown_sums_processors():
+    m = Machine(MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2), protocol="wbi")
+    addr = m.alloc_word()
+    procs = [m.processor(i) for i in range(2)]
+
+    def w(p):
+        yield from p.compute(10)
+        yield from p.write(addr, 1)
+
+    for p in procs:
+        m.spawn(w(p))
+    m.run()
+    agg = m.time_breakdown()
+    assert agg["compute"] == 20
+    assert agg["data"] == sum(p.time_breakdown()["data"] for p in procs)
+
+
+def test_metrics_include_cycle_buckets():
+    m = Machine(MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2), protocol="wbi")
+    p = m.processor(0)
+
+    def w():
+        yield from p.compute(5)
+
+    m.spawn(w())
+    m.run()
+    met = m.metrics()
+    assert met.node_counters["compute_cycles"] == 5

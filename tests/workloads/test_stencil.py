@@ -1,0 +1,48 @@
+"""Tests for the red-black stencil workload."""
+
+import pytest
+
+from repro.workloads import StencilParams, run_stencil
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        StencilParams(points_per_node=0)
+    with pytest.raises(ValueError):
+        StencilParams(sweeps=0)
+
+
+@pytest.mark.parametrize("protocol", ["primitives", "wbi", "writeupdate"])
+def test_stencil_completes_on_all_protocols(protocol):
+    res = run_stencil(4, protocol=protocol, points_per_node=8, sweeps=2)
+    assert res.completion_time > 0
+    assert res.tasks_done == 2
+
+
+def test_stencil_barrier_count():
+    # 2 half-sweeps per sweep, 3 sweeps, 4 nodes -> 24 arrivals (HW barrier).
+    res = run_stencil(4, protocol="primitives", points_per_node=8, sweeps=3)
+    assert res.extra["barriers"] == 4 * 3 * 2
+
+
+def test_stencil_deterministic():
+    a = run_stencil(4, points_per_node=8, sweeps=2)
+    b = run_stencil(4, points_per_node=8, sweeps=2)
+    assert a.completion_time == b.completion_time
+
+
+def test_stencil_neighbor_traffic_local_on_mesh():
+    """Neighbour-only communication: a mesh is competitive with omega."""
+    omega = run_stencil(16, network="omega", points_per_node=8, sweeps=2)
+    mesh = run_stencil(16, network="mesh", points_per_node=8, sweeps=2)
+    # Same messages, comparable time (within 2x either way).
+    assert mesh.messages == omega.messages
+    assert mesh.completion_time < 2 * omega.completion_time
+
+
+def test_stencil_scales_gently():
+    """Per-node work is constant, so completion grows only with barrier
+    fan-in (logarithmic-ish), not with total work."""
+    t4 = run_stencil(4, points_per_node=8, sweeps=2).completion_time
+    t16 = run_stencil(16, points_per_node=8, sweeps=2).completion_time
+    assert t16 < 3 * t4

@@ -1,0 +1,112 @@
+"""Tests for the work-queue workload model."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.workloads import WorkQueueParams, WorkQueueWorkload
+from repro.workloads.workqueue import _TaskGraph
+from repro.sim import RngStreams
+
+
+def run_wq(n=4, lock_scheme="cbl", seed=1, consistency="sc", **pkw):
+    protocol = "primitives" if lock_scheme == "cbl" else "wbi"
+    cfg = MachineConfig(n_nodes=n, cache_blocks=128, cache_assoc=2, seed=seed)
+    m = Machine(cfg, protocol=protocol)
+    params = WorkQueueParams(n_tasks=8, grain_size=20, **pkw)
+    wl = WorkQueueWorkload(m, params, lock_scheme=lock_scheme, consistency=consistency)
+    return wl.run(), m, wl
+
+
+# ------------------------------------------------------------- task graph
+
+
+def test_task_graph_all_tasks_eventually_ready():
+    rng = RngStreams(0).stream("g")
+    g = _TaskGraph(20, dep_prob=0.3, rng=rng)
+    done = 0
+    while not g.drained:
+        tid = g.take()
+        if tid is None:
+            raise AssertionError("graph starved with tasks remaining")
+        g.complete(tid)
+        done += 1
+    assert done == 20
+
+
+def test_task_graph_respects_dependencies():
+    rng = RngStreams(1).stream("g")
+    g = _TaskGraph(30, dep_prob=0.5, rng=rng)
+    completed = set()
+    while not g.drained:
+        tid = g.take()
+        assert tid is not None
+        # All of this task's original deps must have completed.
+        completed.add(tid)
+        g.complete(tid)
+
+
+def test_task_graph_spawn():
+    rng = RngStreams(2).stream("g")
+    g = _TaskGraph(2, dep_prob=0.0, rng=rng)
+    g.spawn()
+    total = 0
+    while not g.drained:
+        tid = g.take()
+        g.complete(tid)
+        total += 1
+    assert total == 3
+
+
+# ------------------------------------------------------------- workload
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        WorkQueueParams(n_tasks=0)
+    with pytest.raises(ValueError):
+        WorkQueueParams(shared_ratio_queue=2.0)
+
+
+def test_all_tasks_processed_cbl():
+    res, m, wl = run_wq(lock_scheme="cbl")
+    assert res.tasks_done == 8
+    assert wl.graph.drained
+
+
+@pytest.mark.parametrize("scheme", ["tts", "tts_backoff", "mcs"])
+def test_all_tasks_processed_software_locks(scheme):
+    res, m, wl = run_wq(lock_scheme=scheme)
+    assert res.tasks_done == 8
+
+
+def test_deterministic_given_seed():
+    r1, _, _ = run_wq(seed=5)
+    r2, _, _ = run_wq(seed=5)
+    assert (r1.completion_time, r1.messages) == (r2.completion_time, r2.messages)
+
+
+def test_spawned_tasks_processed():
+    res, m, wl = run_wq(spawn_prob=1.0, max_spawned=4)
+    assert res.tasks_done == 12  # 8 initial + 4 spawned
+
+
+def test_work_conserving_across_processors():
+    """With more processors the wall-clock time must not increase much for
+    the same task count (and tasks never process twice)."""
+    r2, _, wl2 = run_wq(n=2)
+    r8, _, wl8 = run_wq(n=8)
+    assert wl2.graph.drained and wl8.graph.drained
+    assert r8.tasks_done == r2.tasks_done == 8
+
+
+def test_queue_lock_contention_counted():
+    res, m, wl = run_wq(lock_scheme="cbl")
+    met = m.metrics()
+    # Every dequeue+complete pair acquires the queue lock twice per task.
+    acquires = met.node_counters.get("cbl.acquire_write", 0)
+    assert acquires >= 2 * 8
+
+
+def test_bc_consistency_also_completes():
+    res, m, wl = run_wq(lock_scheme="cbl", consistency="bc")
+    assert res.tasks_done == 8
