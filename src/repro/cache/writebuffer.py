@@ -7,6 +7,15 @@ counter: FLUSH-BUFFER simply waits for occupancy zero.
 
 The paper assumes an infinite buffer; a finite ``capacity`` makes ``put``
 block (processor stall on a full buffer), exposed for ablations.
+
+Writes to *different* addresses are issued immediately and may complete in
+any order (that is the point of buffering); writes to the **same** word are
+issued one at a time in program order — a later write waits for its
+predecessor's ack before entering the network.  Without this, two buffered
+writes to one location can arrive at the home transposed, and the earlier
+value wins: a per-location coherence violation that even buffered
+consistency forbids (found by the schedule fuzzer in
+:mod:`repro.verify.fuzz`).
 """
 
 from __future__ import annotations
@@ -37,6 +46,9 @@ class WriteBuffer:
         self._issue = issue
         self.capacity = capacity
         self._pending: Dict[int, tuple[int, int]] = {}
+        #: word_addr -> pending entry ids in program order; only the head of
+        #: each chain is in the network (same-address ordering).
+        self._addr_chains: Dict[int, list[int]] = {}
         self._next_id = 0
         self._flush_waiters: list[Event] = []
         self._space_waiters: list[tuple[Event, int, int]] = []
@@ -72,13 +84,25 @@ class WriteBuffer:
         self._pending[entry_id] = (word_addr, value)
         self.stats.counters.add("writes")
         self.occupancy.set(self.sim.now, self.pending_count)
-        self._issue(word_addr, value, entry_id)
+        chain = self._addr_chains.setdefault(word_addr, [])
+        chain.append(entry_id)
+        if len(chain) == 1:
+            self._issue(word_addr, value, entry_id)
+        else:
+            self.stats.counters.add("same_addr_deferred")
 
     def retire(self, entry_id: int) -> None:
         """Ack received from the home: the write is globally performed."""
         if entry_id not in self._pending:
             raise KeyError(f"unknown write-buffer entry {entry_id}")
-        del self._pending[entry_id]
+        word_addr, _value = self._pending.pop(entry_id)
+        chain = self._addr_chains[word_addr]
+        chain.remove(entry_id)
+        if chain:
+            addr, val = self._pending[chain[0]]
+            self._issue(addr, val, chain[0])
+        else:
+            del self._addr_chains[word_addr]
         self.stats.counters.add("retired")
         self.occupancy.set(self.sim.now, self.pending_count)
         if self._space_waiters and not self.is_full:

@@ -57,6 +57,13 @@ class PrimitivesCacheController(Controller):
     def __init__(self, node: "Node"):
         super().__init__(node)
         self._update_watchers: Dict[int, List[Event]] = {}
+        #: Subscriber-list traffic (RU_UPDATE_FWD / RU_UNLINK from *other
+        #: caches*) that arrived before our own RU_DATA: those messages
+        #: target the subscription we are about to install (the home
+        #: serialized our RU_REQ first) but travel on a different network
+        #: channel, so FIFO ordering cannot sequence them after the fill.
+        #: They are replayed as soon as the subscription line exists.
+        self._ru_deferred: Dict[int, List[Message]] = {}
 
     # ================= Table 1 primitives (generators) =====================
     def read(self, word_addr: int):
@@ -129,15 +136,13 @@ class PrimitivesCacheController(Controller):
         home = self.amap.home_of(block)
         ev = self.expect(("c:rudata", block))
         self.send(home, MessageType.RU_REQ, addr=block)
+        # The RU_DATA handler installs the subscription line synchronously at
+        # delivery so pushed updates can never slip between reply and install.
         words, old_head = yield ev
-        line, _ = self.node.cache.install(block, words, LineState.VALID_LOCAL, now=self.sim.now)
-        line.update = True
-        line.prev = None
-        line.next = old_head
         if old_head is not None:
             # Thread ourselves before the old head of the subscriber list.
             self.send(old_head, MessageType.RU_UNLINK, addr=block, set_prev=self.node.node_id)
-        return line.read_word(offset)
+        return words[offset]
 
     def reset_update(self, word_addr: int):
         """RESET-UPDATE: cancel the update subscription for the block."""
@@ -241,17 +246,38 @@ class PrimitivesCacheController(Controller):
         elif mt is MessageType.GLOBAL_WRITE_ACK:
             self.node.write_buffer.retire(msg.info["entry_id"])
         elif mt is MessageType.RU_DATA:
-            self.resolve(("c:rudata", msg.addr), (msg.info["words"], msg.info["old_head"]))
+            self._on_ru_data(msg)
         elif mt in (MessageType.RU_UPDATE, MessageType.RU_UPDATE_FWD):
-            self._on_ru_update(msg)
+            if self.has_pending(("c:rudata", msg.addr)):
+                self._ru_deferred.setdefault(msg.addr, []).append(msg)
+            else:
+                self._on_ru_update(msg)
         elif mt is MessageType.RU_UNLINK:
-            self._on_ru_unlink(msg)
+            if self.has_pending(("c:rudata", msg.addr)):
+                self._ru_deferred.setdefault(msg.addr, []).append(msg)
+            else:
+                self._on_ru_unlink(msg)
         elif mt is MessageType.RESET_UPDATE_ACK:
             self.resolve(("c:ruack", msg.addr))
         elif mt is MessageType.RMW_REPLY:
             self.resolve(("c:rmw", msg.info["word"]), msg.info["old"])
         else:  # pragma: no cover - wiring error
             raise RuntimeError(f"primitives cache controller got {msg!r}")
+
+    def _on_ru_data(self, msg: Message) -> None:
+        """Install the subscription line atomically with the reply delivery,
+        then replay any list traffic that raced ahead of it."""
+        snapshot = list(msg.info["words"])
+        old_head = msg.info["old_head"]
+        line, _ = self.node.cache.install(
+            msg.addr, list(msg.info["words"]), LineState.VALID_LOCAL, now=self.sim.now
+        )
+        line.update = True
+        line.prev = None
+        line.next = old_head
+        self.resolve(("c:rudata", msg.addr), (snapshot, old_head))
+        for deferred in self._ru_deferred.pop(msg.addr, ()):
+            self.handle(deferred)
 
     def _on_ru_update(self, msg: Message) -> None:
         """An updated block propagating down the subscriber chain."""

@@ -13,11 +13,22 @@ An MSI-style protocol over a central (per-home) directory:
 
 Every home transaction is serialized per block via the directory entry's
 busy bit; conflicting requests are deferred and replayed in arrival order.
+
+Fills apply **synchronously at message delivery** (MSHR-style): the
+DATA_BLOCK / DATA_BLOCK_EXCL / UPGRADE_ACK handler installs the line and
+performs the pending store before any later message is processed.  If the
+requesting coroutine installed the line when it resumed instead, a probe
+(INV / FETCH / FETCH_INV) delivered between the reply and the resumption
+would find no line, ack vacuously, and the subsequently installed copy
+would be stale — a coherence violation found by the schedule fuzzer in
+:mod:`repro.verify.fuzz`.  The network's per-channel FIFO guarantees the
+reply is delivered before any probe the home sent after it, so
+handler-time installation makes the probe always see the settled state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..cache.states import LineState
 from ..network.message import Message, MessageType
@@ -66,6 +77,10 @@ class WBICacheController(Controller):
     def __init__(self, node: "Node"):
         super().__init__(node)
         self._inv_watchers: Dict[int, List[Event]] = {}
+        #: block -> pending store (offset, value) or None for a read fill.
+        #: The reply handler installs the line and drains the store before
+        #: any later probe can observe the cache (see module docstring).
+        self._mshr: Dict[int, Optional[tuple]] = {}
 
     # ================= processor-side operations (generators) =============
     def read(self, word_addr: int):
@@ -82,11 +97,12 @@ class WBICacheController(Controller):
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
         ev = self.expect(("c:data", block))
+        self._mshr[block] = None
         self.send(home, MessageType.READ_MISS, addr=block)
-        words, excl = yield ev
-        state = LineState.EXCLUSIVE if excl else LineState.SHARED
-        line, _ = self.node.cache.install(block, words, state, now=self.sim.now)
-        return line.read_word(offset)
+        words = yield ev
+        # The handler already installed (and a probe may since have taken)
+        # the line; the reply snapshot is the coherent value at serialization.
+        return words[offset]
 
     def write(self, word_addr: int, value: int):
         """Coherent write (needs exclusivity)."""
@@ -103,26 +119,16 @@ class WBICacheController(Controller):
         if line is not None and line.state is LineState.SHARED:
             self.stats.counters.add("wbi.upgrades")
             ev = self.expect(("c:excl", block))
+            self._mshr[block] = (offset, value)
             self.send(home, MessageType.UPGRADE, addr=block)
-            payload = yield ev
-            if payload is None:
-                # Pure upgrade ack: our copy stayed valid.
-                line.state = LineState.EXCLUSIVE
-                line.write_word(offset, value)
-                return
-            # We lost the copy while the upgrade was in flight; home sent
-            # fresh data with exclusivity instead.
-            words = payload
-            line, _ = cache.install(block, words, LineState.EXCLUSIVE, now=self.sim.now)
-            line.write_word(offset, value)
+            yield ev
             return
         self.stats.counters.add("wbi.write_misses")
         yield from self._evict_for(block)
         ev = self.expect(("c:excl", block))
+        self._mshr[block] = (offset, value)
         self.send(home, MessageType.WRITE_MISS, addr=block)
-        words = yield ev
-        line, _ = cache.install(block, words, LineState.EXCLUSIVE, now=self.sim.now)
-        line.write_word(offset, value)
+        yield ev
 
     def rmw(self, word_addr: int, op: str, operand=None):
         """Atomic read-modify-write at the home memory; returns the old value."""
@@ -179,17 +185,43 @@ class WBICacheController(Controller):
             for ev in watchers:
                 ev.succeed()
 
+    def _install_fill(self, block: int, words, state: LineState):
+        """Install a fill reply and drain the pending store, atomically with
+        the message delivery (no probe can interleave)."""
+        line, _ = self.node.cache.install(block, list(words), state, now=self.sim.now)
+        store = self._mshr.pop(block, None)
+        if store is not None:
+            line.write_word(*store)
+        return line
+
     # ================= message handlers ====================================
     def handle(self, msg: Message) -> None:
         mt = msg.mtype
         if mt is MessageType.DATA_BLOCK:
-            self.resolve(("c:data", msg.addr), (msg.info["words"], False))
+            snapshot = list(msg.info["words"])
+            self._install_fill(msg.addr, msg.info["words"], LineState.SHARED)
+            self.resolve(("c:data", msg.addr), snapshot)
         elif mt is MessageType.DATA_BLOCK_EXCL:
-            # May answer either a write miss or an upgraded-turned-miss.
-            if not self.resolve(("c:excl", msg.addr), msg.info["words"]):
-                self.resolve(("c:data", msg.addr), (msg.info["words"], True))
+            # May answer either a write miss or an upgrade-turned-miss; the
+            # defensive fallback resolves a read that was granted exclusivity.
+            snapshot = list(msg.info["words"])
+            self._install_fill(msg.addr, msg.info["words"], LineState.EXCLUSIVE)
+            if not self.resolve(("c:excl", msg.addr)):
+                self.resolve(("c:data", msg.addr), snapshot)
         elif mt is MessageType.UPGRADE_ACK:
-            self.resolve(("c:excl", msg.addr), None)
+            # The home saw us registered, so no INV preceded this ack on the
+            # (ordered) home->us channel: the line must still be present.
+            line = self.node.cache.peek(msg.addr)
+            if line is None or not line.valid:
+                raise RuntimeError(
+                    f"UPGRADE_ACK for block {msg.addr} but no valid line at "
+                    f"node {self.node.node_id}"
+                )
+            line.state = LineState.EXCLUSIVE
+            store = self._mshr.pop(msg.addr, None)
+            if store is not None:
+                line.write_word(*store)
+            self.resolve(("c:excl", msg.addr))
         elif mt is MessageType.WRITEBACK_ACK:
             self.resolve(("c:wback", msg.addr))
         elif mt is MessageType.RMW_REPLY:

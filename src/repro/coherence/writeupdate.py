@@ -67,9 +67,12 @@ class WUCacheController(Controller):
         home = self.amap.home_of(block)
         ev = self.expect(("c:data", block))
         self.send(home, MessageType.READ_MISS, addr=block)
+        # The DATA_BLOCK handler installs the line synchronously at delivery:
+        # the home registered us as a sharer before replying, so an update it
+        # pushes right after must find the copy already present (the channel
+        # is FIFO) or the word would be stale forever.
         words = yield ev
-        line, _ = self.node.cache.install(block, words, LineState.SHARED, now=self.sim.now)
-        return line.read_word(offset)
+        return words[offset]
 
     def write(self, word_addr: int, value: int):
         """Write-through-update: home pushes the word to all sharers."""
@@ -133,7 +136,11 @@ class WUCacheController(Controller):
     def handle(self, msg: Message) -> None:
         mt = msg.mtype
         if mt is MessageType.DATA_BLOCK:
-            self.resolve(("c:data", msg.addr), msg.info["words"])
+            snapshot = list(msg.info["words"])
+            self.node.cache.install(
+                msg.addr, list(msg.info["words"]), LineState.SHARED, now=self.sim.now
+            )
+            self.resolve(("c:data", msg.addr), snapshot)
         elif mt is MessageType.WU_UPDATE:
             line = self.node.cache.peek(msg.addr)
             if line is not None:

@@ -1,5 +1,6 @@
 """Memory consistency models: SC, buffered consistency (paper), WO, RC."""
 
+from .faults import FAULT_MODELS, get_fault_model
 from .models import (
     BufferedConsistency,
     ConsistencyModel,
@@ -16,4 +17,6 @@ __all__ = [
     "WeakOrdering",
     "ReleaseConsistency",
     "get_model",
+    "FAULT_MODELS",
+    "get_fault_model",
 ]

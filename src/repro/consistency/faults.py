@@ -1,0 +1,62 @@
+"""Intentionally broken consistency models for harness validation.
+
+The litmus/fuzz conformance tooling in :mod:`repro.verify` is only
+trustworthy if it *fails* when the machine is wrong.  These models inject
+known ordering bugs — each one drops a single obligation of the paper's
+buffered-consistency contract — so tests can demonstrate that the harness
+catches the violation and shrinks it to a minimal reproducer.
+
+They are deliberately **not** registered in :func:`repro.consistency.get_model`:
+workloads cannot select them by accident; the verification layer imports
+them explicitly.
+"""
+
+from __future__ import annotations
+
+from .models import BufferedConsistency, WeakOrdering
+
+__all__ = ["NoReleaseFenceBC", "NoAcquireFenceWO", "FAULT_MODELS", "get_fault_model"]
+
+
+class NoReleaseFenceBC(BufferedConsistency):
+    """BC with the FLUSH-BUFFER before CP-Synch (release/barrier) omitted.
+
+    This is exactly the bug the paper's correctness argument guards
+    against: buffered global writes from inside a critical section may
+    still be in flight when the lock is granted to the next holder (or
+    when barrier waiters are released), so another processor can read the
+    protected data stale.
+    """
+
+    name = "bc-no-release-fence"
+    flush_before_release = False
+
+
+class NoAcquireFenceWO(WeakOrdering):
+    """WO without the acquire-side fence (degrades WO to BC ordering).
+
+    Weak ordering requires *every* synchronization access to be a full
+    fence; dropping the acquire-side flush leaves the model's own writes
+    pending across NP-Synch, violating WO's contract (though not BC's —
+    which is why this fault is only detectable by model-specific checks).
+    """
+
+    name = "wo-no-acquire-fence"
+    flush_before_acquire = False
+
+
+#: Injectable faults by name, for the fuzz CLI's ``--inject`` flag.
+FAULT_MODELS = {
+    NoReleaseFenceBC.name: NoReleaseFenceBC,
+    NoAcquireFenceWO.name: NoAcquireFenceWO,
+}
+
+
+def get_fault_model(name: str):
+    """Instantiate a fault-injection model by name."""
+    try:
+        return FAULT_MODELS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r}; choose from {sorted(FAULT_MODELS)}"
+        )

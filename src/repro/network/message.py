@@ -182,6 +182,9 @@ class Message:
     info: Dict[str, Any] = field(default_factory=dict)
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     send_time: float = -1.0
+    #: Per-(src, dst) send sequence, assigned by the interconnect; delivery
+    #: is FIFO per channel (see Interconnect._on_arrival).
+    chan_seq: int = -1
 
     @property
     def size_class(self) -> SizeClass:

@@ -5,6 +5,18 @@ delivers them to per-node handlers after a modeled latency that accounts for
 topology and contention.  Local traffic (``src == dst``) bypasses the network
 entirely (the node's memory module sits on the node), costing only
 ``params.local_delivery`` cycles.
+
+Delivery is **FIFO per (src, dst) channel**: two messages between the same
+pair of nodes arrive in send order, exactly as store-and-forward switch
+queues on a fixed route guarantee.  Without this, a short control message
+(one flit) can overtake an earlier block transfer (1+B flits) — or any
+message under latency jitter — and the directory protocols are built on the
+standard point-to-point-ordering assumption (e.g. an INV must not overtake
+the DATA_BLOCK reply that precedes it, or a requester installs a stale
+copy after acking its invalidation; found by the schedule fuzzer in
+:mod:`repro.verify.fuzz`).  Messages between *different* node pairs still
+reorder freely, which is where the buffered machines' relaxed behaviors
+come from.
 """
 
 from __future__ import annotations
@@ -63,6 +75,11 @@ class Interconnect(ABC):
         self.n_nodes = n_nodes
         self.params = params or NetworkParams()
         self._handlers: Dict[int, DeliveryHandler] = {}
+        # Per-channel FIFO state: next sequence to assign / to deliver, and
+        # early arrivals held for a straggling predecessor.
+        self._chan_send_seq: Dict[tuple, int] = {}
+        self._chan_deliver_seq: Dict[tuple, int] = {}
+        self._chan_held: Dict[tuple, Dict[int, Message]] = {}
         self.stats = StatSet()
 
     # -- wiring ---------------------------------------------------------
@@ -82,6 +99,9 @@ class Interconnect(ABC):
         if not 0 <= msg.src < self.n_nodes:
             raise ValueError(f"source {msg.src} out of range")
         msg.send_time = self.sim.now
+        chan = (msg.src, msg.dst)
+        msg.chan_seq = self._chan_send_seq.get(chan, 0)
+        self._chan_send_seq[chan] = msg.chan_seq + 1
         flits = msg.flits(self.params.words_per_block)
         self.stats.counters.add("messages")
         self.stats.counters.add(f"msg.{msg.mtype.name}")
@@ -103,6 +123,28 @@ class Interconnect(ABC):
 
     def _on_arrival(self, ev) -> None:
         msg: Message = ev.value
+        chan = (msg.src, msg.dst)
+        expected = self._chan_deliver_seq.get(chan, 0)
+        if msg.chan_seq > expected:
+            # Arrived ahead of an in-flight predecessor on the same channel:
+            # hold until the channel's FIFO order catches up.
+            self._chan_held.setdefault(chan, {})[msg.chan_seq] = msg
+            self.stats.counters.add("fifo_holds")
+            return
+        self._chan_deliver_seq[chan] = expected + 1
+        self._dispatch(msg)
+        held = self._chan_held.get(chan)
+        if held:
+            while True:
+                nxt = held.pop(self._chan_deliver_seq[chan], None)
+                if nxt is None:
+                    break
+                self._chan_deliver_seq[chan] += 1
+                self._dispatch(nxt)
+            if not held:
+                del self._chan_held[chan]
+
+    def _dispatch(self, msg: Message) -> None:
         self.stats.observe("latency", self.sim.now - msg.send_time)
         handler = self._handlers.get(msg.dst)
         if handler is None:

@@ -287,7 +287,7 @@ class AnyOf(_Condition):
 class Simulator:
     """The event calendar and execution loop."""
 
-    __slots__ = ("_heap", "_seq", "now", "_active_process")
+    __slots__ = ("_heap", "_seq", "now", "_active_process", "_jitter")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
@@ -295,6 +295,20 @@ class Simulator:
         #: Current simulated time (cycles).
         self.now: float = 0
         self._active_process: Optional[Process] = None
+        self._jitter: Optional[Callable[[float], float]] = None
+
+    # -- latency jitter -----------------------------------------------------
+    def set_jitter(self, fn: Optional[Callable[[float], float]]) -> None:
+        """Install (or clear) a latency-jitter hook.
+
+        ``fn(delay) -> delay'`` is applied to every *positive* scheduling
+        delay; zero-delay events (same-instant sequencing) are never
+        perturbed.  The schedule-fuzzing harness installs a deterministic
+        seeded hook here to explore alternative event interleavings; a
+        correct protocol/consistency-model combination must behave
+        identically (in outcome, not in timing) under any jitter.
+        """
+        self._jitter = fn
 
     # -- factory helpers ----------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -322,6 +336,10 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
+        if delay > 0 and self._jitter is not None:
+            delay = self._jitter(delay)
+            if delay < 0:
+                raise SimulationError("jitter hook produced a negative delay")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 

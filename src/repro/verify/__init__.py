@@ -1,4 +1,16 @@
-"""Protocol invariant checkers used by tests and property-based harnesses."""
+"""Verification layer: invariant checkers, litmus tests, and the fuzzer.
+
+Three levels of assurance, cheapest first:
+
+* :mod:`.checkers` — structural invariants walked over a (possibly
+  mid-run) machine; free of simulated cost.
+* :mod:`.litmus` — the classic consistency litmus tests (MP, SB, IRIW,
+  ...) run against every protocol × model combination with outcome
+  tables derived from the model definitions.
+* :mod:`.fuzz` — randomized well-synchronized programs under schedule
+  jitter, differential against the litmus oracles, with greedy shrinking
+  to a minimal reproducer.
+"""
 
 from .checkers import (
     InvariantViolation,
@@ -6,16 +18,60 @@ from .checkers import (
     check_lock_queues,
     check_ru_lists,
     check_wbi_coherence,
+    check_writeupdate_coherence,
 )
 from .history import RmwEvent, RmwHistory, check_rmw_linearizable
+from .litmus import (
+    LITMUS_TESTS,
+    LitmusTest,
+    LitmusViolation,
+    allowed_outcomes,
+    check_litmus_conformance,
+    observe_outcomes,
+    run_litmus,
+    tests_for,
+)
+
+# Fuzzer names resolve lazily (PEP 562): ``python -m repro.verify.fuzz``
+# first imports this package, and an eager ``from .fuzz import ...`` here
+# would make runpy re-execute the module under ``__main__``.  The entry
+# point ``fuzz()`` itself is reached via the submodule
+# (``repro.verify.fuzz.fuzz``) — at package level the name means the module.
+_FUZZ_NAMES = frozenset(
+    {"Atom", "FuzzReport", "Program", "gen_program", "run_program", "shrink"}
+)
+
+
+def __getattr__(name):
+    if name in _FUZZ_NAMES:
+        from . import fuzz as _fuzz
+
+        return getattr(_fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "InvariantViolation",
     "check_all",
     "check_wbi_coherence",
+    "check_writeupdate_coherence",
     "check_ru_lists",
     "check_lock_queues",
     "RmwEvent",
     "RmwHistory",
     "check_rmw_linearizable",
+    "LITMUS_TESTS",
+    "LitmusTest",
+    "LitmusViolation",
+    "allowed_outcomes",
+    "check_litmus_conformance",
+    "observe_outcomes",
+    "run_litmus",
+    "tests_for",
+    "Atom",
+    "FuzzReport",
+    "Program",
+    "gen_program",
+    "run_program",
+    "shrink",
 ]

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "InvariantViolation",
     "check_wbi_coherence",
+    "check_writeupdate_coherence",
     "check_ru_lists",
     "check_lock_queues",
     "check_all",
@@ -73,6 +74,47 @@ def check_wbi_coherence(machine: "Machine") -> int:
                 # Clean shared copies must match memory.
                 if not line.dirty and line.data != home.memory.read_block(block):
                     _fail(f"block {block}: stale SHARED data at node {nid}")
+    return n_checked
+
+
+def check_writeupdate_coherence(machine: "Machine") -> int:
+    """Write-update invariants (Dragon/Firefly comparator protocol).
+
+    * every cached copy's holder is a registered sharer at the home — the
+      directory pushes updates only to registered nodes, so an unregistered
+      copy would go stale silently;
+    * copies are never dirty: the protocol writes through, so a set dirty
+      bit means a word that memory will never see;
+    * at quiescence (no scheduled events, so no update is in flight) every
+      cached block equals memory word-for-word.
+
+    Returns the number of blocks inspected.
+    """
+    if machine.protocol != "writeupdate":
+        return 0
+    n_checked = 0
+    quiescent = machine.sim.peek() == float("inf")
+    for node in machine.nodes:
+        for line in node.cache.valid_lines():
+            n_checked += 1
+            block = line.block
+            home = machine.nodes[machine.amap.home_of(block)]
+            entry = home.directory.entry(block)
+            if line.dirty:
+                _fail(
+                    f"block {block}: dirty copy at node {node.node_id} under "
+                    f"write-through (mask={line.dirty_mask:b})"
+                )
+            if not entry.busy and node.node_id not in entry.sharers:
+                _fail(
+                    f"block {block}: node {node.node_id} caches a copy but is "
+                    f"not a registered sharer ({sorted(entry.sharers)})"
+                )
+            if quiescent and line.data != home.memory.read_block(block):
+                _fail(
+                    f"block {block}: node {node.node_id} copy {line.data} != "
+                    f"memory {home.memory.read_block(block)} at quiescence"
+                )
     return n_checked
 
 
@@ -148,6 +190,7 @@ def check_all(machine: "Machine") -> dict:
     """Run every applicable checker; returns counts of inspected objects."""
     return {
         "wbi_blocks": check_wbi_coherence(machine),
+        "wu_blocks": check_writeupdate_coherence(machine),
         "ru_lists": check_ru_lists(machine),
         "lock_queues": check_lock_queues(machine),
     }

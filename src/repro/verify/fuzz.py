@@ -1,0 +1,704 @@
+"""Schedule-fuzzing differential harness.
+
+Random *well-synchronized* concurrent programs are generated from seeded
+:class:`~repro.sim.rng.RngStreams`, executed on a
+:class:`~repro.system.machine.Machine` under a randomly drawn protocol ×
+consistency-model combination with latency jitter perturbing event order
+(:meth:`~repro.sim.core.Simulator.set_jitter`), and every run is checked
+against oracles that must hold for correct combinations:
+
+* the run terminates (deadlock guard);
+* the structural invariants of :mod:`repro.verify.checkers` hold;
+* the RMW history linearizes (:func:`check_rmw_linearizable`) and the
+  fetch-add counter's final value is exact;
+* lock-protected counters lose no updates;
+* values read after a barrier, or of a thread's own private data, are
+  never stale.
+
+A failing program is **shrunk** — rounds, threads, and atoms are removed
+greedily while the failure persists — and printed as a ready-to-paste
+regression test.
+
+Program shape
+-------------
+A :class:`Program` is a grid of *rounds* × *threads*; every thread runs
+its atoms for round *r*, then all threads meet at a barrier before round
+*r+1*.  Atoms are the well-synchronized building blocks (compute, private
+read/write, publish/consume of per-thread slots, lock-protected
+increment, atomic fetch-add), so any stale value or lost update signals
+an ordering bug in the protocol or model — not a data race in the test
+program.
+
+On the ``writeupdate`` comparator, cross-thread *value* checks (consume,
+lock counter) are skipped: its home ack covers only the memory update,
+so sharer pushes are still in flight when synchronization completes and
+cached copies may be transiently stale.  That asynchrony is the paper's
+own argument (§4.1) for reader-initiated coherence; structural, private,
+and RMW oracles still apply.
+
+CLI
+---
+``python -m repro.verify.fuzz --seed N --iters K`` runs a bounded fuzz
+budget cycling through all protocol × model combinations; ``--inject``
+swaps in a deliberately broken model from
+:mod:`repro.consistency.faults` to demonstrate detection + shrinking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..consistency.faults import FAULT_MODELS, get_fault_model
+from ..consistency.models import ConsistencyModel, get_model
+from ..sim.rng import RngStreams
+from ..sync.base import CBLLock, HWBarrier
+from ..system.config import MachineConfig
+from ..system.machine import Machine
+from .checkers import InvariantViolation, check_all
+from .history import RmwHistory, check_rmw_linearizable
+from .litmus import MODELS, PROTOCOLS, final_value, make_jitter
+
+__all__ = [
+    "Atom",
+    "Program",
+    "gen_program",
+    "run_program",
+    "shrink",
+    "make_failure_oracle",
+    "to_regression_source",
+    "fuzz",
+    "FuzzReport",
+    "main",
+]
+
+
+# --------------------------------------------------------------------------
+# Program representation
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Atom:
+    """One building block of a fuzzed thread.
+
+    ``kind`` ∈ {``compute``, ``private``, ``publish``, ``consume``,
+    ``lock_inc``, ``rmw_inc``}; ``arg`` is cycles / repetition count /
+    publish sequence number / target thread / lock id respectively.
+    """
+
+    kind: str
+    arg: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    """``rounds[r][t]`` = atoms thread ``t`` runs in round ``r``.
+
+    All threads cross an implicit all-thread barrier between consecutive
+    rounds, which is what makes generated programs well-synchronized.
+    """
+
+    n_threads: int
+    rounds: Tuple[Tuple[Tuple[Atom, ...], ...], ...]
+
+    def size(self) -> int:
+        """Total atom count (the 'operations' unit reported by the shrinker)."""
+        return sum(len(atoms) for rnd in self.rounds for atoms in rnd)
+
+    def locks_used(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted(
+                {
+                    a.arg
+                    for rnd in self.rounds
+                    for atoms in rnd
+                    for a in atoms
+                    if a.kind == "lock_inc"
+                }
+            )
+        )
+
+    def count(self, kind: str, arg: Optional[int] = None) -> int:
+        return sum(
+            1
+            for rnd in self.rounds
+            for atoms in rnd
+            for a in atoms
+            if a.kind == kind and (arg is None or a.arg == arg)
+        )
+
+
+_ATOM_WEIGHTS = (
+    ("compute", 0.15),
+    ("private", 0.15),
+    ("publish", 0.2),
+    ("consume", 0.2),
+    ("lock_inc", 0.2),
+    ("rmw_inc", 0.1),
+)
+
+
+def gen_program(
+    rng,
+    n_threads: Optional[int] = None,
+    n_rounds: Optional[int] = None,
+    max_atoms_per_round: int = 3,
+    n_locks: int = 2,
+) -> Program:
+    """Draw a random well-synchronized program from ``rng``."""
+    if n_threads is None:
+        n_threads = int(rng.integers(2, 5))
+    if n_rounds is None:
+        n_rounds = int(rng.integers(1, 4))
+    kinds = [k for k, _ in _ATOM_WEIGHTS]
+    weights = [w for _, w in _ATOM_WEIGHTS]
+    total = sum(weights)
+    probs = [w / total for w in weights]
+    pub_seq = [0] * n_threads
+    rounds: List[Tuple[Tuple[Atom, ...], ...]] = []
+    for _r in range(n_rounds):
+        row: List[Tuple[Atom, ...]] = []
+        for t in range(n_threads):
+            atoms: List[Atom] = []
+            for _ in range(int(rng.integers(1, max_atoms_per_round + 1))):
+                kind = kinds[int(rng.choice(len(kinds), p=probs))]
+                if kind == "compute":
+                    atoms.append(Atom("compute", int(rng.integers(1, 30))))
+                elif kind == "private":
+                    atoms.append(Atom("private", int(rng.integers(1, 4))))
+                elif kind == "publish":
+                    pub_seq[t] += 1
+                    atoms.append(Atom("publish", pub_seq[t]))
+                elif kind == "consume":
+                    if n_threads < 2:
+                        continue
+                    target = int(rng.integers(0, n_threads - 1))
+                    if target >= t:
+                        target += 1
+                    atoms.append(Atom("consume", target))
+                elif kind == "lock_inc":
+                    atoms.append(Atom("lock_inc", int(rng.integers(0, n_locks))))
+                else:
+                    atoms.append(Atom("rmw_inc"))
+            row.append(tuple(atoms))
+        rounds.append(tuple(row))
+    return Program(n_threads=n_threads, rounds=tuple(rounds))
+
+
+def consume_allowed(program: Program, round_idx: int, target: int) -> set:
+    """Values a consume of ``target``'s slot may legally observe in
+    ``round_idx``: the last value published in an earlier round (0 if
+    none) or any value the target publishes concurrently this round."""
+    last = 0
+    for r in range(round_idx):
+        for atom in program.rounds[r][target]:
+            if atom.kind == "publish":
+                last = atom.arg
+    allowed = {last}
+    for atom in program.rounds[round_idx][target]:
+        if atom.kind == "publish":
+            allowed.add(atom.arg)
+    return allowed
+
+
+# --------------------------------------------------------------------------
+# Execution + oracles
+# --------------------------------------------------------------------------
+
+def _resolve_model(model: Union[str, ConsistencyModel]) -> ConsistencyModel:
+    if isinstance(model, ConsistencyModel):
+        return model
+    try:
+        return get_model(model)
+    except ValueError:
+        return get_fault_model(model)
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def run_program(
+    program: Program,
+    protocol: str = "primitives",
+    model: Union[str, ConsistencyModel] = "bc",
+    seed: int = 0,
+    jitter: float = 0.0,
+    jitter_prob: float = 0.25,
+    max_cycles: float = 5_000_000,
+) -> Optional[str]:
+    """Execute ``program`` once and run every oracle.
+
+    Returns ``None`` on success or a human-readable failure description.
+    Fully deterministic for a fixed argument tuple.
+    """
+    n_nodes = max(4, _next_pow2(program.n_threads + 1))
+    cfg = MachineConfig(n_nodes=n_nodes, cache_blocks=64, cache_assoc=2, seed=seed)
+    machine = Machine(cfg, protocol=protocol)
+    if jitter > 0:
+        machine.sim.set_jitter(
+            make_jitter(machine.rng.stream("fuzz.jitter"), 1.0 + jitter, prob=jitter_prob)
+        )
+    mdl = _resolve_model(model)
+
+    thread_nodes = frozenset(t % n_nodes for t in range(program.n_threads))
+
+    def shared_word() -> int:
+        for _ in range(4 * n_nodes):
+            block = machine.alloc_block()
+            if machine.amap.home_of(block) not in thread_nodes:
+                return machine.amap.word_addr(block, 0)
+        return machine.alloc_word()
+
+    slots = [shared_word() for _ in range(program.n_threads)]
+    privates = [machine.alloc_word() for _ in range(program.n_threads)]
+    rmw_ctr = shared_word()
+    locks: Dict[int, CBLLock] = {lid: CBLLock(machine) for lid in program.locks_used()}
+    lock_ctrs: Dict[int, int] = {lid: shared_word() for lid in program.locks_used()}
+    bar = HWBarrier(machine, n=program.n_threads) if len(program.rounds) > 1 else None
+
+    failures: List[str] = []
+    consumes: List[Tuple[int, int, int, int]] = []  # (round, reader, target, value)
+    histories: List[RmwHistory] = []
+
+    def shared_read(proc, addr):
+        if protocol == "primitives":
+            value = yield from proc.read_global(addr)
+        else:
+            value = yield from proc.shared_read(addr)
+        return value
+
+    def body(proc, hist, t: int):
+        private_value = 0
+        for ri, rnd in enumerate(program.rounds):
+            for atom in rnd[t]:
+                if atom.kind == "compute":
+                    yield from proc.compute(atom.arg)
+                elif atom.kind == "private":
+                    for _ in range(atom.arg):
+                        private_value += 1
+                        yield from proc.write(privates[t], private_value)
+                        got = yield from proc.read(privates[t])
+                        if got != private_value:
+                            failures.append(
+                                f"private self-check: thread {t} round {ri} wrote "
+                                f"{private_value}, read back {got}"
+                            )
+                elif atom.kind == "publish":
+                    yield from proc.shared_write(slots[t], atom.arg)
+                elif atom.kind == "consume":
+                    value = yield from shared_read(proc, slots[atom.arg])
+                    consumes.append((ri, t, atom.arg, value))
+                elif atom.kind == "lock_inc":
+                    lock = locks[atom.arg]
+                    ctr = lock_ctrs[atom.arg]
+                    yield from proc.acquire(lock)
+                    value = yield from shared_read(proc, ctr)
+                    yield from proc.shared_write(ctr, value + 1)
+                    yield from proc.release(lock)
+                elif atom.kind == "rmw_inc":
+                    yield from hist.rmw(rmw_ctr, "fetch_add", 1)
+                else:  # pragma: no cover - literal typo guard
+                    raise ValueError(f"unknown atom kind {atom.kind!r}")
+            if bar is not None and ri < len(program.rounds) - 1:
+                yield from proc.barrier(bar)
+
+    for t in range(program.n_threads):
+        proc = machine.processor(t % n_nodes, consistency=mdl)
+        hist = RmwHistory(proc)
+        histories.append(hist)
+        machine.spawn(body(proc, hist, t), name=f"fuzz.t{t}")
+
+    try:
+        machine.run_all(max_cycles=max_cycles)
+    except RuntimeError as exc:
+        return f"deadlock guard: {exc}"
+
+    try:
+        check_all(machine)
+    except InvariantViolation as exc:
+        failures.append(f"structural invariant: {exc}")
+
+    # Cross-thread value oracles; see module docstring for the writeupdate
+    # exemption.
+    if protocol != "writeupdate":
+        for ri, reader, target, value in consumes:
+            allowed = consume_allowed(program, ri, target)
+            if value not in allowed:
+                failures.append(
+                    f"stale consume: thread {reader} round {ri} read slot of "
+                    f"thread {target} = {value}, allowed {sorted(allowed)}"
+                )
+        for lid, ctr in lock_ctrs.items():
+            want = program.count("lock_inc", lid)
+            got = final_value(machine, ctr)
+            if got != want:
+                failures.append(
+                    f"lost update: lock {lid} counter is {got}, "
+                    f"expected {want} increments"
+                )
+
+    events = [e for h in histories for e in h.events]
+    if events:
+        try:
+            check_rmw_linearizable(events)
+        except AssertionError as exc:
+            failures.append(f"rmw linearizability: {exc}")
+        want = program.count("rmw_inc")
+        got = final_value(machine, rmw_ctr)
+        if got != want:
+            failures.append(f"rmw counter is {got}, expected {want}")
+
+    if failures:
+        return "; ".join(failures)
+    return None
+
+
+# --------------------------------------------------------------------------
+# Shrinking
+# --------------------------------------------------------------------------
+
+def _normalize(program: Program) -> Optional[Program]:
+    """Drop empty rounds/threads; None if nothing is left."""
+    rounds = tuple(rnd for rnd in program.rounds if any(rnd))
+    if not rounds or program.n_threads == 0:
+        return None
+    return replace(program, rounds=rounds)
+
+
+def _without_thread(program: Program, t: int) -> Optional[Program]:
+    if program.n_threads <= 1:
+        return None
+
+    def fix(atoms: Tuple[Atom, ...]) -> Tuple[Atom, ...]:
+        out = []
+        for a in atoms:
+            if a.kind == "consume":
+                if a.arg == t:
+                    continue
+                if a.arg > t:
+                    a = replace(a, arg=a.arg - 1)
+            out.append(a)
+        return tuple(out)
+
+    rounds = tuple(
+        tuple(fix(atoms) for i, atoms in enumerate(rnd) if i != t)
+        for rnd in program.rounds
+    )
+    return _normalize(Program(n_threads=program.n_threads - 1, rounds=rounds))
+
+
+def _without_round(program: Program, r: int) -> Optional[Program]:
+    if len(program.rounds) <= 1:
+        return None
+    rounds = tuple(rnd for i, rnd in enumerate(program.rounds) if i != r)
+    return _normalize(replace(program, rounds=rounds))
+
+
+def _without_atom(program: Program, r: int, t: int, i: int) -> Optional[Program]:
+    rnd = program.rounds[r]
+    atoms = rnd[t][:i] + rnd[t][i + 1 :]
+    rounds = (
+        program.rounds[:r]
+        + (rnd[:t] + (atoms,) + rnd[t + 1 :],)
+        + program.rounds[r + 1 :]
+    )
+    return _normalize(replace(program, rounds=rounds))
+
+
+def _reductions(program: Program):
+    """Candidate one-step reductions, most aggressive first."""
+    for t in range(program.n_threads):
+        cand = _without_thread(program, t)
+        if cand is not None:
+            yield cand
+    for r in range(len(program.rounds)):
+        cand = _without_round(program, r)
+        if cand is not None:
+            yield cand
+    for r, rnd in enumerate(program.rounds):
+        for t, atoms in enumerate(rnd):
+            for i in range(len(atoms)):
+                cand = _without_atom(program, r, t, i)
+                if cand is not None:
+                    yield cand
+
+
+def shrink(
+    program: Program,
+    fails: Callable[[Program], Optional[str]],
+    max_attempts: int = 2000,
+) -> Program:
+    """Greedily minimize ``program`` while ``fails`` still reports a failure.
+
+    ``fails`` must be deterministic; the result is a local minimum (no
+    single thread/round/atom can be removed without losing the failure).
+    """
+    if fails(program) is None:
+        raise ValueError("shrink() requires a failing program")
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cand in _reductions(program):
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            if fails(cand) is not None:
+                program = cand
+                improved = True
+                break
+    return program
+
+
+def make_failure_oracle(
+    protocol: str,
+    model: Union[str, ConsistencyModel],
+    seeds: Sequence[int],
+    jitter: float,
+    jitter_prob: float = 0.25,
+) -> Callable[[Program], Optional[str]]:
+    """A deterministic ``fails(program)`` probing several machine seeds."""
+
+    def fails(program: Program) -> Optional[str]:
+        for seed in seeds:
+            failure = run_program(
+                program,
+                protocol=protocol,
+                model=model,
+                seed=seed,
+                jitter=jitter,
+                jitter_prob=jitter_prob,
+            )
+            if failure is not None:
+                return f"seed {seed}: {failure}"
+        return None
+
+    return fails
+
+
+def _program_literal(program: Program, indent: str = "        ") -> str:
+    lines = ["Program(", f"{indent}n_threads={program.n_threads},", f"{indent}rounds=("]
+    for rnd in program.rounds:
+        lines.append(f"{indent}    (")
+        for atoms in rnd:
+            atom_src = ", ".join(f"Atom({a.kind!r}, {a.arg})" for a in atoms)
+            lines.append(f"{indent}        ({atom_src}{',' if len(atoms) == 1 else ''}),")
+        lines.append(f"{indent}    ),")
+    lines.append(f"{indent}),")
+    lines.append(f"{indent[:-4]})")
+    return "\n".join(lines)
+
+
+def to_regression_source(
+    program: Program,
+    protocol: str,
+    model: Union[str, ConsistencyModel],
+    seeds: Sequence[int],
+    jitter: float,
+    jitter_prob: float = 0.25,
+) -> str:
+    """Ready-to-paste pytest source reproducing the failure."""
+    model_name = model if isinstance(model, str) else model.name
+    seed_list = ", ".join(str(s) for s in seeds)
+    return f'''\
+def test_fuzz_regression():
+    """Shrunk by repro.verify.fuzz: {program.size()} operation(s), {program.n_threads} thread(s)."""
+    from repro.verify.fuzz import Atom, Program, run_program
+
+    program = {_program_literal(program)}
+    for seed in ({seed_list},):
+        failure = run_program(
+            program,
+            protocol={protocol!r},
+            model={model_name!r},
+            seed=seed,
+            jitter={jitter!r},
+            jitter_prob={jitter_prob!r},
+        )
+        assert failure is None, failure
+'''
+
+
+# --------------------------------------------------------------------------
+# The fuzz loop
+# --------------------------------------------------------------------------
+
+@dataclass
+class FuzzReport:
+    """Outcome of a bounded fuzz budget."""
+
+    iterations: int = 0
+    runs_by_combo: Optional[Dict[Tuple[str, str], int]] = None
+    failure: Optional[str] = None
+    failing_program: Optional[Program] = None
+    shrunk_program: Optional[Program] = None
+    protocol: str = ""
+    model: str = ""
+    seed: int = 0
+    jitter: float = 0.0
+    reproducer: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def fuzz(
+    master_seed: int = 0,
+    iters: int = 100,
+    protocols: Sequence[str] = PROTOCOLS,
+    models: Sequence[str] = MODELS,
+    max_jitter: float = 8.0,
+    inject: Optional[str] = None,
+    do_shrink: bool = True,
+    max_threads: int = 4,
+    max_rounds: int = 3,
+    verbose: bool = False,
+    log: Callable[[str], None] = lambda s: None,
+) -> FuzzReport:
+    """Run a bounded fuzz budget; stops at the first (shrunk) failure.
+
+    Iterations cycle deterministically through every protocol × model
+    combination so even small budgets cover the whole matrix.  ``inject``
+    names a fault model from :data:`repro.consistency.faults.FAULT_MODELS`
+    to substitute for the drawn model (used to validate the harness).
+    """
+    streams = RngStreams(master_seed)
+    combos = [(p, m) for p in protocols for m in models]
+    report = FuzzReport(runs_by_combo={c: 0 for c in combos})
+    for i in range(iters):
+        protocol, model = combos[i % len(combos)]
+        model_used: Union[str, ConsistencyModel] = inject if inject else model
+        rng = streams.stream(f"iter{i}")
+        program = gen_program(
+            rng,
+            n_threads=int(rng.integers(2, max_threads + 1)),
+            n_rounds=int(rng.integers(1, max_rounds + 1)),
+        )
+        seed = int(rng.integers(0, 2**31 - 1))
+        jitter = float(rng.uniform(0.0, max_jitter))
+        report.iterations = i + 1
+        report.runs_by_combo[(protocol, model)] += 1
+        if verbose:
+            log(
+                f"[{i:4d}] {protocol}×{model_used if isinstance(model_used, str) else model_used.name}"
+                f" threads={program.n_threads} atoms={program.size()}"
+                f" seed={seed} jitter={jitter:.2f}"
+            )
+        failure = run_program(
+            program, protocol=protocol, model=model_used, seed=seed, jitter=jitter
+        )
+        if failure is None:
+            continue
+        report.failure = failure
+        report.failing_program = program
+        report.protocol = protocol
+        report.model = model_used if isinstance(model_used, str) else model_used.name
+        report.seed = seed
+        report.jitter = jitter
+        log(f"iteration {i}: FAILURE under {protocol}×{report.model}: {failure}")
+        if do_shrink:
+            oracle_seeds = [seed] + [seed + k + 1 for k in range(4)]
+            oracle = make_failure_oracle(protocol, model_used, oracle_seeds, jitter)
+            log(f"shrinking from {program.size()} operation(s) ...")
+            shrunk = shrink(program, oracle)
+            report.shrunk_program = shrunk
+            report.reproducer = to_regression_source(
+                shrunk, protocol, model_used, oracle_seeds, jitter
+            )
+            log(
+                f"shrunk to {shrunk.size()} operation(s) / "
+                f"{shrunk.n_threads} thread(s); reproducer:\n\n{report.reproducer}"
+            )
+        return report
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description="Schedule-fuzz the simulator across protocol × model combinations.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master fuzz seed")
+    parser.add_argument("--iters", type=int, default=100, help="iteration budget")
+    parser.add_argument(
+        "--protocol",
+        choices=("all",) + PROTOCOLS,
+        default="all",
+        help="restrict to one protocol",
+    )
+    parser.add_argument(
+        "--model",
+        choices=("all",) + MODELS,
+        default="all",
+        help="restrict to one consistency model",
+    )
+    parser.add_argument(
+        "--max-jitter",
+        type=float,
+        default=8.0,
+        help="max latency-jitter factor drawn per iteration",
+    )
+    parser.add_argument(
+        "--inject",
+        choices=sorted(FAULT_MODELS),
+        default=None,
+        help="substitute a deliberately broken model (harness self-test)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="skip shrinking on failure"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    if args.iters < 1:
+        parser.error("--iters must be at least 1")
+    if args.max_jitter < 0:
+        parser.error("--max-jitter must be non-negative")
+    if args.seed < 0:
+        parser.error("--seed must be non-negative")
+
+    protocols = PROTOCOLS if args.protocol == "all" else (args.protocol,)
+    models = MODELS if args.model == "all" else (args.model,)
+    t0 = time.time()
+    report = fuzz(
+        master_seed=args.seed,
+        iters=args.iters,
+        protocols=protocols,
+        models=models,
+        max_jitter=args.max_jitter,
+        inject=args.inject,
+        do_shrink=not args.no_shrink,
+        verbose=args.verbose,
+        log=lambda s: print(s, file=sys.stderr),
+    )
+    dt = time.time() - t0
+    if report.ok:
+        combos = sum(1 for c, n in report.runs_by_combo.items() if n > 0)
+        print(
+            f"fuzz OK: {report.iterations} iteration(s) across {combos} "
+            f"protocol×model combination(s) in {dt:.1f}s (seed {args.seed})"
+        )
+        return 0
+    print(
+        f"fuzz FAILED at iteration {report.iterations - 1} "
+        f"({report.protocol}×{report.model}, seed {report.seed}, "
+        f"jitter {report.jitter:.2f}): {report.failure}"
+    )
+    if report.shrunk_program is not None:
+        print(
+            f"minimal reproducer: {report.shrunk_program.size()} operation(s), "
+            f"{report.shrunk_program.n_threads} thread(s)\n"
+        )
+        print(report.reproducer)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

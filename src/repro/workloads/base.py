@@ -11,7 +11,13 @@ from ..sync.swlock import MCSLock, TicketLock, TSLock, TTSBackoffLock, TTSLock
 if TYPE_CHECKING:  # pragma: no cover
     from ..system.machine import Machine
 
-__all__ = ["LOCK_FACTORIES", "make_lock", "GRAIN_SIZES", "WorkloadResult"]
+__all__ = [
+    "LOCK_FACTORIES",
+    "make_lock",
+    "GRAIN_SIZES",
+    "WorkloadResult",
+    "verified_result",
+]
 
 #: Lock scheme name -> factory.  "cbl" is the paper's hardware lock; the
 #: rest are software locks over the coherence protocol.
@@ -48,3 +54,35 @@ class WorkloadResult:
     flits: int
     tasks_done: int = 0
     extra: Optional[dict] = None
+
+
+def verified_result(
+    machine: "Machine",
+    *,
+    completion_time: float,
+    messages: int,
+    flits: int,
+    tasks_done: int = 0,
+    extra: Optional[dict] = None,
+) -> WorkloadResult:
+    """Build a :class:`WorkloadResult`, first asserting protocol invariants.
+
+    Every workload finishes through here, so each run doubles as a
+    conformance check: the structural walkers in :mod:`repro.verify`
+    (single writer, registered sharers, subscriber lists, lock queues)
+    raise ``InvariantViolation`` on a corrupted machine instead of letting
+    the performance numbers be silently wrong.  The per-checker inspection
+    counts land in ``extra["invariants"]``.
+    """
+    from ..verify import check_all  # local: verify imports Machine
+
+    counts = check_all(machine)
+    extra = dict(extra or {})
+    extra["invariants"] = counts
+    return WorkloadResult(
+        completion_time=completion_time,
+        messages=messages,
+        flits=flits,
+        tasks_done=tasks_done,
+        extra=extra,
+    )

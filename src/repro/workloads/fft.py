@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Optional
 from ..sync.base import HWBarrier
 from ..system.config import MachineConfig
 from ..system.machine import Machine
-from .base import WorkloadResult
+from .base import WorkloadResult, verified_result
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -100,7 +100,8 @@ class FFTWorkload:
             m.spawn(self._driver(proc), name=f"fft-{i}")
         m.run_all(max_cycles)
         met = m.metrics()
-        return WorkloadResult(
+        return verified_result(
+            m,
             completion_time=met.completion_time,
             messages=met.messages,
             flits=met.flits,

@@ -36,7 +36,7 @@ from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
 from ..system.config import MachineConfig
 from ..system.machine import Machine
-from .base import WorkloadResult
+from .base import WorkloadResult, verified_result
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -145,7 +145,8 @@ class LinSolverWorkload:
             }
         ]
         met = m.metrics()
-        return WorkloadResult(
+        return verified_result(
+            m,
             completion_time=met.completion_time,
             messages=met.messages,
             flits=met.flits,

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
-from .base import WorkloadResult, make_lock
+from .base import WorkloadResult, make_lock, verified_result
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -161,7 +161,8 @@ class SyncModelWorkload:
             m.spawn(self._driver(proc), name=f"syncmodel-{i}")
         m.run_all(max_cycles)
         met = m.metrics()
-        return WorkloadResult(
+        return verified_result(
+            m,
             completion_time=met.completion_time,
             messages=met.messages,
             flits=met.flits,

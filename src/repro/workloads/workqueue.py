@@ -27,7 +27,7 @@ import numpy as np
 
 from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
-from .base import WorkloadResult, make_lock
+from .base import WorkloadResult, make_lock, verified_result
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -264,7 +264,8 @@ class WorkQueueWorkload:
             m.spawn(self._driver(proc), name=f"workqueue-{i}")
         m.run_all(max_cycles)
         met = m.metrics()
-        return WorkloadResult(
+        return verified_result(
+            m,
             completion_time=met.completion_time,
             messages=met.messages,
             flits=met.flits,

@@ -1,0 +1,91 @@
+"""Property-based tests for :class:`repro.sim.RngStreams`.
+
+The simulator's reproducibility rests entirely on this class: every
+stochastic component (reference streams, fuzzer schedules, latency jitter)
+draws from a named stream derived from one master seed.  These properties
+pin down the contract the rest of the codebase assumes:
+
+* the same (master_seed, name) pair always yields the same sequence,
+  across independent ``RngStreams`` instances and across creation order;
+* streams with different names are statistically independent (their
+  prefixes differ) as long as the names' CRC32 labels differ;
+* the CRC32 name-labelling scheme *does* collide — the classic
+  "plumless"/"buckeroo" pair maps to the same stream.  That is a known,
+  accepted limitation documented here so nobody relies on distinct names
+  alone implying distinct streams.
+"""
+
+import zlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngStreams
+
+# Printable names without exotic unicode keep the CRC behaviour readable.
+names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=24
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(seed=seeds, name=names)
+@settings(max_examples=50, deadline=None)
+def test_same_seed_and_name_reproduce_exactly(seed, name):
+    a = RngStreams(seed).stream(name).random(16)
+    b = RngStreams(seed).stream(name).random(16)
+    assert np.array_equal(a, b)
+
+
+@given(seed=seeds, name_a=names, name_b=names, warmup=st.integers(0, 8))
+@settings(max_examples=50, deadline=None)
+def test_creation_order_does_not_perturb_streams(seed, name_a, name_b, warmup):
+    """Adding a new consumer must not shift an existing stream's sequence."""
+    if zlib.crc32(name_a.encode()) == zlib.crc32(name_b.encode()):
+        return  # same label = same cached stream; the neighbour IS us
+    alone = RngStreams(seed)
+    alone.stream(name_a).random(warmup)
+    expected = alone.stream(name_a).random(8)
+
+    crowded = RngStreams(seed)
+    crowded.stream(name_b).random(32)  # a neighbour draws first...
+    crowded.stream(name_a).random(warmup)
+    got = crowded.stream(name_a).random(8)  # ...without affecting us
+    assert np.array_equal(expected, got)
+
+
+@given(seed=seeds, name_a=names, name_b=names)
+@settings(max_examples=50, deadline=None)
+def test_distinct_labels_give_independent_prefixes(seed, name_a, name_b):
+    if zlib.crc32(name_a.encode()) == zlib.crc32(name_b.encode()):
+        return  # collision: identical streams by design (see collision test)
+    s = RngStreams(seed)
+    a = s.stream(name_a).random(16)
+    b = s.stream(name_b).random(16)
+    # 16 doubles from independent PCG64 streams collide with probability ~0.
+    assert not np.array_equal(a, b)
+
+
+def test_crc_name_collision_aliases_streams():
+    """"plumless" and "buckeroo" share a CRC32 — and therefore a stream."""
+    assert zlib.crc32(b"plumless") == zlib.crc32(b"buckeroo")
+    s = RngStreams(123)
+    a = RngStreams(123).stream("plumless").random(16)
+    b = s.stream("buckeroo").random(16)
+    assert np.array_equal(a, b)  # documented limitation, not a target
+
+
+@given(seed=seeds, salt=names, name=names)
+@settings(max_examples=50, deadline=None)
+def test_fork_is_deterministic_and_divergent(seed, salt, name):
+    f1 = RngStreams(seed).fork(salt)
+    f2 = RngStreams(seed).fork(salt)
+    assert f1.master_seed == f2.master_seed
+    a = f1.stream(name).random(8)
+    b = f2.stream(name).random(8)
+    assert np.array_equal(a, b)
+    # The fork derives a different master seed unless the mix collides.
+    if f1.master_seed != seed:
+        parent = RngStreams(seed).stream(name).random(8)
+        assert not np.array_equal(a, parent)

@@ -12,6 +12,7 @@ from repro.verify import (
     check_lock_queues,
     check_ru_lists,
     check_wbi_coherence,
+    check_writeupdate_coherence,
 )
 
 
@@ -68,6 +69,62 @@ def test_detects_stale_shared_data():
     home.directory.entry(blk).sharers = {0}
     with pytest.raises(InvariantViolation, match="stale"):
         check_wbi_coherence(m)
+
+
+def wu_machine_after_traffic():
+    cfg = MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2)
+    m = Machine(cfg, protocol="writeupdate")
+
+    def w(p):
+        for k in range(6):
+            yield from p.write(k * 4, p.node_id + 1)
+            yield from p.read(((p.node_id + 1) % 4) * 4)
+
+    for i in range(4):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    return m
+
+
+def test_healthy_wu_machine_passes():
+    m = wu_machine_after_traffic()
+    counts = check_all(m)
+    assert counts["wu_blocks"] > 0
+    assert counts["wbi_blocks"] == 0  # protocol-gated
+
+
+def test_wu_detects_unregistered_copy():
+    m = wu_machine_after_traffic()
+    blk = 99
+    m.nodes[2].cache.install(blk, [0] * 4, LineState.SHARED)
+    home = m.nodes[m.amap.home_of(blk)]
+    home.directory.entry(blk).sharers.discard(2)
+    with pytest.raises(InvariantViolation, match="not a registered sharer"):
+        check_writeupdate_coherence(m)
+
+
+def test_wu_detects_dirty_copy():
+    m = wu_machine_after_traffic()
+    blk = 0
+    line = next(iter(m.nodes[0].cache.valid_lines()), None)
+    if line is None:  # ensure there is a copy to corrupt
+        line, _ = m.nodes[0].cache.install(blk, [0] * 4, LineState.SHARED)
+        m.nodes[m.amap.home_of(blk)].directory.entry(blk).sharers.add(0)
+    line.write_word(0, 7, dirty=True)
+    with pytest.raises(InvariantViolation, match="dirty"):
+        check_writeupdate_coherence(m)
+
+
+def test_wu_detects_stale_copy_at_quiescence():
+    m = wu_machine_after_traffic()
+    blk = 98
+    home = m.nodes[m.amap.home_of(blk)]
+    home.memory.write_block(blk, [1, 2, 3, 4])
+    m.nodes[1].cache.install(blk, [9, 9, 9, 9], LineState.SHARED)
+    home.directory.entry(blk).sharers.add(1)
+    assert m.sim.peek() == float("inf")  # run() drained the event heap
+    with pytest.raises(InvariantViolation, match="quiescence"):
+        check_writeupdate_coherence(m)
 
 
 def ru_machine_with_subscribers():

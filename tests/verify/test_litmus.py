@@ -1,0 +1,84 @@
+"""Tests for the litmus-test engine (:mod:`repro.verify.litmus`)."""
+
+import pytest
+
+from repro.consistency import get_fault_model
+from repro.verify.litmus import (
+    LITMUS_TESTS,
+    MODELS,
+    PROTOCOLS,
+    LitmusViolation,
+    allowed_outcomes,
+    check_litmus_conformance,
+    observe_outcomes,
+    run_litmus,
+)
+from repro.verify.litmus import tests_for as litmus_tests_for
+
+TESTS = {t.name: t for t in LITMUS_TESTS}
+
+
+# -- structure -------------------------------------------------------------
+def test_registry_covers_the_classic_suite():
+    names = set(TESTS)
+    assert {"mp", "mp+barrier", "mp+lock", "sb", "sb+flush", "iriw", "lock-inc"} <= names
+
+
+def test_tests_for_respects_protocol_gates():
+    assert TESTS["ru-stale"] in litmus_tests_for("primitives")
+    assert TESTS["ru-stale"] not in litmus_tests_for("wbi")
+    assert TESTS["mp"] in litmus_tests_for("writeupdate")
+
+
+def test_run_litmus_rejects_wrong_protocol():
+    with pytest.raises(ValueError):
+        run_litmus(TESTS["ru-stale"], "wbi", "sc")
+
+
+def test_run_litmus_is_deterministic():
+    a = run_litmus(TESTS["sb"], "primitives", "bc", seed=3, jitter=2.5)
+    b = run_litmus(TESTS["sb"], "primitives", "bc", seed=3, jitter=2.5)
+    assert a == b
+
+
+# -- conformance across the full matrix ------------------------------------
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("model", MODELS)
+def test_conformance_sweep(protocol, model):
+    """Every observed outcome is allowed for every test on this combo."""
+    for test in litmus_tests_for(protocol):
+        check_litmus_conformance(
+            test, protocol, model, seeds=range(4), jitters=(0.0, 2.0)
+        )
+
+
+def test_relaxed_outcome_observed_under_bc_on_primitives():
+    """bc on the buffered machine really reorders (witness seeds)."""
+    observed = observe_outcomes(
+        TESTS["mp"], "primitives", "bc", seeds=(27, 79, 103, 111), jitters=(10.0,)
+    )
+    assert observed & TESTS["mp"].relaxed_outcomes
+
+
+def test_sc_on_primitives_shows_no_relaxed_outcome():
+    observed = observe_outcomes(
+        TESTS["mp"], "primitives", "sc", seeds=(27, 79, 103, 111), jitters=(10.0,)
+    )
+    assert observed <= TESTS["mp"].sc_outcomes
+
+
+# -- fault models are caught ------------------------------------------------
+@pytest.mark.parametrize("name", ("mp+barrier", "mp+lock", "lock-inc"))
+def test_no_release_fence_bc_is_caught(name):
+    bad = get_fault_model("bc-no-release-fence")
+    with pytest.raises(LitmusViolation):
+        check_litmus_conformance(
+            TESTS[name], "primitives", bad, seeds=range(20), jitters=(0.0, 3.0, 8.0)
+        )
+
+
+def test_fault_model_outcome_is_flagged_not_allowed():
+    """The oracle itself never widens for a fault model."""
+    bad = get_fault_model("bc-no-release-fence")
+    t = TESTS["mp+barrier"]
+    assert allowed_outcomes(t, "primitives", bad) == t.sc_outcomes

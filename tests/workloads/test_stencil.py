@@ -17,6 +17,9 @@ def test_stencil_completes_on_all_protocols(protocol):
     res = run_stencil(4, protocol=protocol, points_per_node=8, sweeps=2)
     assert res.completion_time > 0
     assert res.tasks_done == 2
+    # Every workload finishes through verified_result: the protocol's
+    # invariant walkers ran and inspected something.
+    assert sum(res.extra["invariants"].values()) > 0
 
 
 def test_stencil_barrier_count():
