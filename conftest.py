@@ -1,5 +1,50 @@
 """Ensure the in-tree package is importable when running pytest from the repo root."""
+import faulthandler
 import os
+import signal
 import sys
+import threading
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+#: Session-wide wall-clock budget (seconds).  The simulator's own watchdog
+#: turns in-simulation hangs into structured ``HangError`` failures; this
+#: guard is the backstop for hangs the watchdog cannot see (an infinite
+#: Python loop, a wedged subprocess): dump every stack and die loudly
+#: instead of letting CI sit silent until its own coarse timeout.
+#: Override with ``REPRO_TEST_WALL_SECONDS`` (0 disables).
+_DEFAULT_WALL_BUDGET = 1200.0
+
+
+def pytest_configure(config):
+    budget = float(os.environ.get("REPRO_TEST_WALL_SECONDS", _DEFAULT_WALL_BUDGET))
+    if (
+        budget <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return
+
+    def _expired(signum, frame):
+        try:
+            # Restore the real stderr so the dump survives pytest's capture.
+            capman = config.pluginmanager.get_plugin("capturemanager")
+            if capman is not None:
+                capman.suspend_global_capture(in_=True)
+        except Exception:
+            pass
+        sys.stderr.write(
+            f"\n\n*** test session exceeded its {budget:.0f}s wall-clock budget "
+            "(REPRO_TEST_WALL_SECONDS); dumping stacks ***\n"
+        )
+        faulthandler.dump_traceback(file=sys.stderr)
+        sys.stderr.flush()
+        os._exit(124)
+
+    signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(int(budget))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread():
+        signal.alarm(0)

@@ -20,10 +20,13 @@ consistency forbids (found by the schedule fuzzer in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..sim.core import Event, Simulator
 from ..sim.stats import StatSet, TimeWeighted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import ResilienceParams
 
 __all__ = ["WriteBuffer"]
 
@@ -36,15 +39,29 @@ class WriteBuffer:
         sim: Simulator,
         issue: Callable[[int, int, int], int],
         capacity: Optional[int] = None,
+        resilience: Optional["ResilienceParams"] = None,
+        retry_counters=None,
     ):
         """``issue(word_addr, value, entry_id)`` sends the write toward its
         home and returns immediately; the caller must call :meth:`retire`
-        with the same ``entry_id`` when the ack arrives."""
+        with the same ``entry_id`` when the ack arrives.
+
+        With a ``resilience`` policy, each in-network write arms a backoff
+        timer and is reissued (same ``entry_id``, so the home's dedup
+        absorbs duplicates) until the ack retires it; ``retry_counters`` is
+        the node's counter set for the ``resilience.*`` bookkeeping, and
+        duplicate acks for already-retired entries are absorbed instead of
+        raising."""
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive or None")
         self.sim = sim
         self._issue = issue
         self.capacity = capacity
+        self.resilience = resilience
+        self._retry_counters = retry_counters
+        #: entry_id -> armed retry timer / attempt count (resilience only).
+        self._retry_timers: Dict[int, Event] = {}
+        self._attempts: Dict[int, int] = {}
         self._pending: Dict[int, tuple[int, int]] = {}
         #: word_addr -> pending entry ids in program order; only the head of
         #: each chain is in the network (same-address ordering).
@@ -87,20 +104,55 @@ class WriteBuffer:
         chain = self._addr_chains.setdefault(word_addr, [])
         chain.append(entry_id)
         if len(chain) == 1:
-            self._issue(word_addr, value, entry_id)
+            self._issue_tracked(entry_id)
         else:
             self.stats.counters.add("same_addr_deferred")
+
+    def _issue_tracked(self, entry_id: int) -> None:
+        """Issue the write; with resilience, arm the reissue timer."""
+        word_addr, value = self._pending[entry_id]
+        self._issue(word_addr, value, entry_id)
+        res = self.resilience
+        if res is None:
+            return
+        attempt = self._attempts.get(entry_id, 0)
+        timer = self.sim.timeout(res.timeout_for(attempt))
+        self._retry_timers[entry_id] = timer
+        timer.callbacks.append(lambda _e: self._on_retry_timer(entry_id, timer))
+
+    def _on_retry_timer(self, entry_id: int, timer: Event) -> None:
+        if self._retry_timers.get(entry_id) is not timer:
+            return  # superseded (stale timer from an earlier attempt)
+        del self._retry_timers[entry_id]
+        if entry_id not in self._pending:
+            return
+        res = self.resilience
+        attempt = self._attempts.get(entry_id, 0)
+        if self._retry_counters is not None:
+            self._retry_counters.add("resilience.timeouts")
+            self._retry_counters.add("resilience.timeout_cycles", int(res.timeout_for(attempt)))
+        if res.max_retries is not None and attempt >= res.max_retries:
+            return  # park unacked; the watchdog reports the stuck entry
+        self._attempts[entry_id] = attempt + 1
+        if self._retry_counters is not None:
+            self._retry_counters.add("resilience.retries")
+        self._issue_tracked(entry_id)
 
     def retire(self, entry_id: int) -> None:
         """Ack received from the home: the write is globally performed."""
         if entry_id not in self._pending:
+            if self.resilience is not None:
+                return  # duplicate ack for an already-retired entry
             raise KeyError(f"unknown write-buffer entry {entry_id}")
+        timer = self._retry_timers.pop(entry_id, None)
+        if timer is not None and not timer.processed:
+            timer.cancel()
+        self._attempts.pop(entry_id, None)
         word_addr, _value = self._pending.pop(entry_id)
         chain = self._addr_chains[word_addr]
         chain.remove(entry_id)
         if chain:
-            addr, val = self._pending[chain[0]]
-            self._issue(addr, val, chain[0])
+            self._issue_tracked(chain[0])
         else:
             del self._addr_chains[word_addr]
         self.stats.counters.add("retired")

@@ -98,9 +98,12 @@ class PrimitivesCacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
-        ev = self.expect(("c:rg", word_addr))
-        self.send(home, MessageType.READ_GLOBAL, addr=block, word=word_addr)
-        value = yield ev
+        value = yield from self.request(
+            ("c:rg", word_addr),
+            lambda rseq: self.send(
+                home, MessageType.READ_GLOBAL, addr=block, word=word_addr, rseq=rseq
+            ),
+        )
         return value
 
     def write_global(self, word_addr: int, value: int):
@@ -134,11 +137,12 @@ class PrimitivesCacheController(Controller):
         self.stats.counters.add("prim.ru_subscribes")
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
-        ev = self.expect(("c:rudata", block))
-        self.send(home, MessageType.RU_REQ, addr=block)
         # The RU_DATA handler installs the subscription line synchronously at
         # delivery so pushed updates can never slip between reply and install.
-        words, old_head = yield ev
+        words, old_head = yield from self.request(
+            ("c:rudata", block),
+            lambda rseq: self.send(home, MessageType.RU_REQ, addr=block, rseq=rseq),
+        )
         if old_head is not None:
             # Thread ourselves before the old head of the subscriber list.
             self.send(old_head, MessageType.RU_UNLINK, addr=block, set_prev=self.node.node_id)
@@ -159,9 +163,12 @@ class PrimitivesCacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
-        ev = self.expect(("c:rmw", word_addr))
-        self.send(home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand)
-        old = yield ev
+        old = yield from self.request(
+            ("c:rmw", word_addr),
+            lambda rseq: self.send(
+                home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand, rseq=rseq
+            ),
+        )
         return old
 
     def watch_update(self, block: int) -> Event:
@@ -177,9 +184,10 @@ class PrimitivesCacheController(Controller):
     def _fetch_block(self, block: int):
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
-        ev = self.expect(("c:data", block))
-        self.send(home, MessageType.READ_MISS, addr=block)
-        words = yield ev
+        words = yield from self.request(
+            ("c:data", block),
+            lambda rseq: self.send(home, MessageType.READ_MISS, addr=block, rseq=rseq),
+        )
         line, _ = self.node.cache.install(block, words, LineState.VALID_LOCAL, now=self.sim.now)
         return line
 
@@ -213,29 +221,31 @@ class PrimitivesCacheController(Controller):
         """Write back only the dirty words (per-word dirty bits)."""
         self.stats.counters.add("prim.writebacks")
         home = self.amap.home_of(line.block)
-        ev = self.expect(("c:wback", line.block))
-        self.send(
-            home,
-            MessageType.WRITEBACK,
-            addr=line.block,
-            words=list(line.data),
-            mask=line.dirty_mask,
+        words = list(line.data)
+        mask = line.dirty_mask
+        yield from self.request(
+            ("c:wback", line.block),
+            lambda rseq: self.send(
+                home, MessageType.WRITEBACK, addr=line.block, words=words, mask=mask, rseq=rseq
+            ),
         )
-        yield ev
         line.dirty_mask = 0
 
     def _unsubscribe(self, line):
         self.stats.counters.add("prim.ru_unsubscribes")
         home = self.amap.home_of(line.block)
-        ev = self.expect(("c:ruack", line.block))
-        self.send(home, MessageType.RESET_UPDATE, addr=line.block)
-        yield ev
+        yield from self.request(
+            ("c:ruack", line.block),
+            lambda rseq: self.send(home, MessageType.RESET_UPDATE, addr=line.block, rseq=rseq),
+        )
         line.update = False
         line.prev = None
         line.next = None
 
     # ================= message handlers ====================================
     def handle(self, msg: Message) -> None:
+        if not self.dedup_admit(msg):
+            return
         mt = msg.mtype
         if mt is MessageType.DATA_BLOCK:
             self.resolve(("c:data", msg.addr), msg.info["words"])
@@ -246,6 +256,8 @@ class PrimitivesCacheController(Controller):
         elif mt is MessageType.GLOBAL_WRITE_ACK:
             self.node.write_buffer.retire(msg.info["entry_id"])
         elif mt is MessageType.RU_DATA:
+            if self.node.resilience is not None and not self.has_pending(("c:rudata", msg.addr)):
+                return  # stale duplicate subscription fill
             self._on_ru_data(msg)
         elif mt in (MessageType.RU_UPDATE, MessageType.RU_UPDATE_FWD):
             if self.has_pending(("c:rudata", msg.addr)):
@@ -350,6 +362,11 @@ class PrimitivesHomeController(Controller):
 
     # -- dispatch ----------------------------------------------------------
     def handle(self, msg: Message) -> None:
+        if not self.dedup_admit(msg):
+            return
+        self._admit(msg)
+
+    def _admit(self, msg: Message) -> None:
         if msg.mtype is MessageType.RU_ACK:
             key = (msg.addr, msg.info["token"])
             coll = self._ack_collectors.get(key)
@@ -378,20 +395,20 @@ class PrimitivesHomeController(Controller):
         entry.busy = False
         nxt = entry.pop_deferred()
         if nxt is not None:
-            self.handle(nxt)
+            self._admit(nxt)
 
     # -- handlers ----------------------------------------------------------
     def _h_read_miss(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         words = self.node.memory.read_block(entry.block)
-        self.send(msg.src, MessageType.DATA_BLOCK, addr=entry.block, words=words)
+        self.reply_to(msg, MessageType.DATA_BLOCK, addr=entry.block, words=words)
         self._done(entry)
 
     def _h_read_global(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         value = self.node.memory.read_word(msg.info["word"])
-        self.send(
-            msg.src,
+        self.reply_to(
+            msg,
             MessageType.READ_GLOBAL_REPLY,
             addr=entry.block,
             word=msg.info["word"],
@@ -406,8 +423,8 @@ class PrimitivesHomeController(Controller):
         subscribers = [s for s in entry.ru_subscribers if s != msg.src]
         ack_now = not self.cfg.strict_global_ack or not subscribers
         if ack_now:
-            self.send(
-                msg.src,
+            self.reply_to(
+                msg,
                 MessageType.GLOBAL_WRITE_ACK,
                 addr=entry.block,
                 entry_id=msg.info["entry_id"],
@@ -422,7 +439,9 @@ class PrimitivesHomeController(Controller):
                 # Table 2's (n-1)||C_B.  Under strict acks every subscriber
                 # confirms delivery before the writer's ack goes out.
                 if strict:
-                    coll = AckCollector(self.sim, len(subscribers))
+                    coll = AckCollector(
+                        self.sim, len(subscribers), tolerant=self.node.resilience is not None
+                    )
                     self._ack_collectors[(entry.block, token)] = coll
                 for sub in subscribers:
                     self.send(
@@ -454,8 +473,8 @@ class PrimitivesHomeController(Controller):
                 )
                 yield ev
             if not ack_now:
-                self.send(
-                    msg.src,
+                self.reply_to(
+                    msg,
                     MessageType.GLOBAL_WRITE_ACK,
                     addr=entry.block,
                     entry_id=msg.info["entry_id"],
@@ -465,7 +484,7 @@ class PrimitivesHomeController(Controller):
     def _h_writeback(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         self.node.memory.write_dirty_words(entry.block, msg.info["words"], msg.info["mask"])
-        self.send(msg.src, MessageType.WRITEBACK_ACK, addr=entry.block)
+        self.reply_to(msg, MessageType.WRITEBACK_ACK, addr=entry.block)
         self._done(entry)
 
     def _h_ru_req(self, msg: Message, entry):
@@ -485,8 +504,8 @@ class PrimitivesHomeController(Controller):
         entry.usage = Usage.READ_UPDATE
         entry.queue_pointer = msg.src  # head of the subscriber list
         words = self.node.memory.read_block(entry.block)
-        self.send(
-            msg.src, MessageType.RU_DATA, addr=entry.block, words=words, old_head=old_head
+        self.reply_to(
+            msg, MessageType.RU_DATA, addr=entry.block, words=words, old_head=old_head
         )
         self._done(entry)
 
@@ -508,7 +527,7 @@ class PrimitivesHomeController(Controller):
             entry.queue_pointer = subs[0] if subs else None
             if not subs:
                 entry.usage = Usage.NONE
-        self.send(msg.src, MessageType.RESET_UPDATE_ACK, addr=entry.block)
+        self.reply_to(msg, MessageType.RESET_UPDATE_ACK, addr=entry.block)
         self._done(entry)
 
     def _h_rmw(self, msg: Message, entry):
@@ -517,5 +536,5 @@ class PrimitivesHomeController(Controller):
         mem = self.node.memory
         old = mem.read_word(word)
         mem.write_word(word, apply_rmw(msg.info["op"], old, msg.info["operand"]))
-        self.send(msg.src, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
+        self.reply_to(msg, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
         self._done(entry)

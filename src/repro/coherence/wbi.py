@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from ..cache.states import LineState
 from ..network.message import Message, MessageType
 from ..sim.core import Event
-from .base import AckCollector, Controller
+from .base import Controller, SourceAckCollector
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.node import Node
@@ -96,10 +96,11 @@ class WBICacheController(Controller):
         self.stats.counters.add("wbi.read_misses")
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
-        ev = self.expect(("c:data", block))
         self._mshr[block] = None
-        self.send(home, MessageType.READ_MISS, addr=block)
-        words = yield ev
+        words = yield from self.request(
+            ("c:data", block),
+            lambda rseq: self.send(home, MessageType.READ_MISS, addr=block, rseq=rseq),
+        )
         # The handler already installed (and a probe may since have taken)
         # the line; the reply snapshot is the coherent value at serialization.
         return words[offset]
@@ -118,17 +119,19 @@ class WBICacheController(Controller):
         home = self.amap.home_of(block)
         if line is not None and line.state is LineState.SHARED:
             self.stats.counters.add("wbi.upgrades")
-            ev = self.expect(("c:excl", block))
             self._mshr[block] = (offset, value)
-            self.send(home, MessageType.UPGRADE, addr=block)
-            yield ev
+            yield from self.request(
+                ("c:excl", block),
+                lambda rseq: self.send(home, MessageType.UPGRADE, addr=block, rseq=rseq),
+            )
             return
         self.stats.counters.add("wbi.write_misses")
         yield from self._evict_for(block)
-        ev = self.expect(("c:excl", block))
         self._mshr[block] = (offset, value)
-        self.send(home, MessageType.WRITE_MISS, addr=block)
-        yield ev
+        yield from self.request(
+            ("c:excl", block),
+            lambda rseq: self.send(home, MessageType.WRITE_MISS, addr=block, rseq=rseq),
+        )
 
     def rmw(self, word_addr: int, op: str, operand=None):
         """Atomic read-modify-write at the home memory; returns the old value."""
@@ -136,9 +139,12 @@ class WBICacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
-        ev = self.expect(("c:rmw", word_addr))
-        self.send(home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand)
-        old = yield ev
+        old = yield from self.request(
+            ("c:rmw", word_addr),
+            lambda rseq: self.send(
+                home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand, rseq=rseq
+            ),
+        )
         return old
 
     def watch_invalidation(self, block: int) -> Event:
@@ -169,15 +175,14 @@ class WBICacheController(Controller):
     def _writeback(self, line):
         self.stats.counters.add("wbi.writebacks")
         home = self.amap.home_of(line.block)
-        ev = self.expect(("c:wback", line.block))
-        self.send(
-            home,
-            MessageType.WRITEBACK,
-            addr=line.block,
-            words=list(line.data),
-            mask=line.dirty_mask,
+        words = list(line.data)
+        mask = line.dirty_mask
+        yield from self.request(
+            ("c:wback", line.block),
+            lambda rseq: self.send(
+                home, MessageType.WRITEBACK, addr=line.block, words=words, mask=mask, rseq=rseq
+            ),
         )
-        yield ev
 
     def _notify_invalidation(self, block: int) -> None:
         watchers = self._inv_watchers.pop(block, None)
@@ -196,19 +201,30 @@ class WBICacheController(Controller):
 
     # ================= message handlers ====================================
     def handle(self, msg: Message) -> None:
+        if not self.dedup_admit(msg):
+            return
+        resilient = self.node.resilience is not None
         mt = msg.mtype
         if mt is MessageType.DATA_BLOCK:
+            if resilient and not self.has_pending(("c:data", msg.addr)):
+                return  # stale duplicate fill: nobody is waiting
             snapshot = list(msg.info["words"])
             self._install_fill(msg.addr, msg.info["words"], LineState.SHARED)
             self.resolve(("c:data", msg.addr), snapshot)
         elif mt is MessageType.DATA_BLOCK_EXCL:
             # May answer either a write miss or an upgrade-turned-miss; the
             # defensive fallback resolves a read that was granted exclusivity.
+            if resilient and not (
+                self.has_pending(("c:excl", msg.addr)) or self.has_pending(("c:data", msg.addr))
+            ):
+                return
             snapshot = list(msg.info["words"])
             self._install_fill(msg.addr, msg.info["words"], LineState.EXCLUSIVE)
             if not self.resolve(("c:excl", msg.addr)):
                 self.resolve(("c:data", msg.addr), snapshot)
         elif mt is MessageType.UPGRADE_ACK:
+            if resilient and not self.has_pending(("c:excl", msg.addr)):
+                return
             # The home saw us registered, so no INV preceded this ack on the
             # (ordered) home->us channel: the line must still be present.
             line = self.node.cache.peek(msg.addr)
@@ -235,10 +251,13 @@ class WBICacheController(Controller):
         else:  # pragma: no cover - wiring error
             raise RuntimeError(f"WBI cache controller got {msg!r}")
 
-    def _reply_later(self, dst: int, mtype: MessageType, addr: int, **info) -> None:
-        """Send after the cache-directory check time."""
+    def _reply_later(self, req: Message, mtype: MessageType, addr: int, **info) -> None:
+        """Send after the cache-directory check time; record for dedup replay
+        (a retried probe must get the *original* answer — a re-run FETCH
+        after invalidation would lose the dirty words forever)."""
+        self.record_reply(req, req.src, mtype, addr, info)
         ev = self.sim.timeout(self.cfg.dir_cycle)
-        ev.callbacks.append(lambda _e: self.send(dst, mtype, addr=addr, **info))
+        ev.callbacks.append(lambda _e: self.send(req.src, mtype, addr=addr, **info))
 
     def _on_inv(self, msg: Message) -> None:
         line = self.node.cache.peek(msg.addr)
@@ -246,14 +265,14 @@ class WBICacheController(Controller):
             self.stats.counters.add("wbi.invalidations_received")
             line.invalidate()
             self._notify_invalidation(msg.addr)
-        self._reply_later(msg.src, MessageType.INV_ACK, msg.addr)
+        self._reply_later(msg, MessageType.INV_ACK, msg.addr)
 
     def _on_fetch(self, msg: Message, invalidate: bool) -> None:
         line = self.node.cache.peek(msg.addr)
         if line is None:
             # Raced with our own eviction: the WRITEBACK is in flight and
             # carries the data; home will use it.  Tell home to use memory.
-            self._reply_later(msg.src, MessageType.FETCH_REPLY, msg.addr, words=None)
+            self._reply_later(msg, MessageType.FETCH_REPLY, msg.addr, words=None)
             return
         words = list(line.data)
         if invalidate:
@@ -262,7 +281,7 @@ class WBICacheController(Controller):
         else:
             line.state = LineState.SHARED
             line.dirty_mask = 0
-        self._reply_later(msg.src, MessageType.FETCH_REPLY, msg.addr, words=words)
+        self._reply_later(msg, MessageType.FETCH_REPLY, msg.addr, words=words)
 
 
 class WBIHomeController(Controller):
@@ -282,15 +301,42 @@ class WBIHomeController(Controller):
     RESPONSE_TYPES = frozenset({MessageType.INV_ACK, MessageType.FETCH_REPLY})
     IN_TYPES = REQUEST_TYPES | RESPONSE_TYPES
 
+    #: Replies that grant a cached copy; a probe revokes them, so the
+    #: home voids their dedup records before probing (see
+    #: :meth:`Controller.void_stale_grants`).
+    GRANT_TYPES = frozenset(
+        {
+            MessageType.DATA_BLOCK,
+            MessageType.DATA_BLOCK_EXCL,
+            MessageType.UPGRADE_ACK,
+        }
+    )
+
     def __init__(self, node: "Node"):
         super().__init__(node)
-        self._ack_collectors: Dict[int, AckCollector] = {}
+        self._ack_collectors: Dict[int, SourceAckCollector] = {}
 
     # -- dispatch ----------------------------------------------------------
     def handle(self, msg: Message) -> None:
+        """Network entry point: dedup first, then admit.
+
+        Deferred requests replayed by :meth:`_done` re-enter via
+        :meth:`_admit` directly — they already passed dedup on arrival and
+        must not be mistaken for their own duplicates.
+        """
+        if not self.dedup_admit(msg):
+            return
+        self._admit(msg)
+
+    def _admit(self, msg: Message) -> None:
         mt = msg.mtype
         if mt is MessageType.INV_ACK:
-            self._ack_collectors[msg.addr].ack()
+            if self.node.resilience is None:
+                coll = self._ack_collectors[msg.addr]
+            else:
+                coll = self._ack_collectors.get(msg.addr)
+            if coll is not None:
+                coll.ack(msg.src)
             return
         if mt is MessageType.FETCH_REPLY:
             self.resolve(("h:fetch", msg.addr), msg.info["words"])
@@ -314,7 +360,7 @@ class WBIHomeController(Controller):
         entry.busy = False
         nxt = entry.pop_deferred()
         if nxt is not None:
-            self.handle(nxt)
+            self._admit(nxt)
 
     # -- helpers ----------------------------------------------------------
     def _invalidate_sharers(self, entry, exclude: int):
@@ -322,13 +368,20 @@ class WBIHomeController(Controller):
         from ..memory.directory import DirState
 
         targets = [s for s in entry.sharers if s != exclude]
-        coll = AckCollector(self.sim, len(targets))
+        coll = SourceAckCollector(self.sim, targets)
+        rseq = self.rseq_or_none() if targets else None
         if targets:
             self._ack_collectors[entry.block] = coll
             for t in targets:
-                self.send(t, MessageType.INV, addr=entry.block)
+                self.void_stale_grants(t, entry.block, self.GRANT_TYPES)
+                self.send(t, MessageType.INV, addr=entry.block, rseq=rseq)
             self.stats.counters.add("wbi.invalidations_sent", len(targets))
-        yield coll.event
+        yield from self.await_acks(
+            coll,
+            lambda waiting: [
+                self.send(t, MessageType.INV, addr=entry.block, rseq=rseq) for t in waiting
+            ],
+        )
         self._ack_collectors.pop(entry.block, None)
         entry.sharers.clear()
 
@@ -336,9 +389,12 @@ class WBIHomeController(Controller):
         """Fetch the dirty block back from its owner; returns fresh words."""
         mem = self.node.memory
         mtype = MessageType.FETCH_INV if invalidate else MessageType.FETCH
-        ev = self.expect(("h:fetch", entry.block))
-        self.send(entry.owner, mtype, addr=entry.block)
-        words = yield ev
+        owner = entry.owner
+        self.void_stale_grants(owner, entry.block, self.GRANT_TYPES)
+        words = yield from self.request(
+            ("h:fetch", entry.block),
+            lambda rseq: self.send(owner, mtype, addr=entry.block, rseq=rseq),
+        )
         if words is None:
             # The owner had already started a writeback; it is deferred on
             # this entry and will be replayed.  Use memory's current content
@@ -361,11 +417,18 @@ class WBIHomeController(Controller):
         if limit is None or req in entry.sharers or len(entry.sharers) < limit:
             return
         victim = next(iter(entry.sharers))
-        coll = AckCollector(self.sim, 1)
+        coll = SourceAckCollector(self.sim, [victim])
+        rseq = self.rseq_or_none()
         self._ack_collectors[entry.block] = coll
-        self.send(victim, MessageType.INV, addr=entry.block)
+        self.void_stale_grants(victim, entry.block, self.GRANT_TYPES)
+        self.send(victim, MessageType.INV, addr=entry.block, rseq=rseq)
         self.stats.counters.add("wbi.dir_evictions")
-        yield coll.event
+        yield from self.await_acks(
+            coll,
+            lambda waiting: [
+                self.send(t, MessageType.INV, addr=entry.block, rseq=rseq) for t in waiting
+            ],
+        )
         self._ack_collectors.pop(entry.block, None)
         entry.sharers.discard(victim)
 
@@ -380,7 +443,7 @@ class WBIHomeController(Controller):
             entry.state = DirState.SHARED
             entry.sharers = {entry.owner, req}
             entry.owner = None
-            self.send(req, MessageType.DATA_BLOCK, addr=entry.block, words=words)
+            self.reply_to(msg, MessageType.DATA_BLOCK, addr=entry.block, words=words)
         else:
             if entry.state is DirState.SHARED:
                 yield from self._make_room_in_directory(entry, req)
@@ -391,7 +454,7 @@ class WBIHomeController(Controller):
                 entry.sharers = {req}
             else:
                 entry.sharers.add(req)
-            self.send(req, MessageType.DATA_BLOCK, addr=entry.block, words=words)
+            self.reply_to(msg, MessageType.DATA_BLOCK, addr=entry.block, words=words)
         self._done(entry)
 
     def _h_write_miss(self, msg: Message, entry):
@@ -410,7 +473,7 @@ class WBIHomeController(Controller):
         entry.state = DirState.EXCLUSIVE
         entry.owner = req
         entry.sharers = set()
-        self.send(req, MessageType.DATA_BLOCK_EXCL, addr=entry.block, words=words)
+        self.reply_to(msg, MessageType.DATA_BLOCK_EXCL, addr=entry.block, words=words)
         self._done(entry)
 
     def _h_upgrade(self, msg: Message, entry):
@@ -423,7 +486,7 @@ class WBIHomeController(Controller):
             entry.state = DirState.EXCLUSIVE
             entry.owner = req
             entry.sharers = set()
-            self.send(req, MessageType.UPGRADE_ACK, addr=entry.block)
+            self.reply_to(msg, MessageType.UPGRADE_ACK, addr=entry.block)
         else:
             # The requester's copy is gone (invalidated or recalled while the
             # upgrade was in flight): degrade to a full write miss.
@@ -437,7 +500,7 @@ class WBIHomeController(Controller):
             entry.state = DirState.EXCLUSIVE
             entry.owner = req
             entry.sharers = set()
-            self.send(req, MessageType.DATA_BLOCK_EXCL, addr=entry.block, words=words)
+            self.reply_to(msg, MessageType.DATA_BLOCK_EXCL, addr=entry.block, words=words)
         self._done(entry)
 
     def _h_writeback(self, msg: Message, entry):
@@ -453,7 +516,7 @@ class WBIHomeController(Controller):
         else:
             # Stale writeback (raced with a fetch we already served).
             entry.sharers.discard(req)
-        self.send(req, MessageType.WRITEBACK_ACK, addr=entry.block)
+        self.reply_to(msg, MessageType.WRITEBACK_ACK, addr=entry.block)
         self._done(entry)
 
     def _h_rmw(self, msg: Message, entry):
@@ -472,5 +535,5 @@ class WBIHomeController(Controller):
         word = msg.info["word"]
         old = mem.read_word(word)
         mem.write_word(word, apply_rmw(msg.info["op"], old, msg.info["operand"]))
-        self.send(req, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
+        self.reply_to(msg, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
         self._done(entry)

@@ -18,6 +18,18 @@ This directory version makes that concrete:
 The protocol exists for ablations: it loses to READ-UPDATE exactly when
 stale subscribers accumulate, which is the paper's argument for putting
 the subscription under *reader* control.
+
+Resilient mode (``node.resilience`` set) adds a recovery layer on top:
+
+* requester operations issue through :meth:`Controller.request` (timeout +
+  backoff reissue, per-request ``rseq`` dedup at the home, recorded-reply
+  replay for idempotent retries — RMW included);
+* update pushes become **versioned and acked**: the home keeps a per-word
+  version counter, every ``WU_UPDATE`` carries ``ver`` and is retried until
+  each sharer returns ``WU_UPDATE_ACK``; sharers apply a pushed word only
+  when its version advances their applied-version watermark, so duplicated
+  or reordered pushes can never roll a word backwards.  ``DATA_BLOCK``
+  replies carry the block's version vector to seed the watermark.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ from typing import TYPE_CHECKING, Dict, List
 from ..cache.states import LineState
 from ..network.message import Message, MessageType
 from ..sim.core import Event
-from .base import Controller
+from .base import Controller, SourceAckCollector
 from .wbi import apply_rmw
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,6 +63,9 @@ class WUCacheController(Controller):
     def __init__(self, node: "Node"):
         super().__init__(node)
         self._change_watchers: Dict[int, List[Event]] = {}
+        #: word_addr -> highest pushed version applied (resilient mode only);
+        #: rejects stale duplicated/reordered WU_UPDATE deliveries.
+        self._applied_ver: Dict[int, int] = {}
 
     # -- processor operations ------------------------------------------------
     def read(self, word_addr: int):
@@ -65,13 +80,14 @@ class WUCacheController(Controller):
         self.stats.counters.add("wu.read_misses")
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
-        ev = self.expect(("c:data", block))
-        self.send(home, MessageType.READ_MISS, addr=block)
         # The DATA_BLOCK handler installs the line synchronously at delivery:
         # the home registered us as a sharer before replying, so an update it
         # pushes right after must find the copy already present (the channel
         # is FIFO) or the word would be stale forever.
-        words = yield ev
+        words = yield from self.request(
+            ("c:data", block),
+            lambda rseq: self.send(home, MessageType.READ_MISS, addr=block, rseq=rseq),
+        )
         return words[offset]
 
     def write(self, word_addr: int, value: int):
@@ -84,9 +100,12 @@ class WUCacheController(Controller):
         if line is not None:
             line.write_word(offset, value, dirty=False)  # write-through: clean
         home = self.amap.home_of(block)
-        ev = self.expect(("c:wuack", word_addr))
-        self.send(home, MessageType.WU_WRITE, addr=block, word=word_addr, value=value)
-        yield ev
+        yield from self.request(
+            ("c:wuack", word_addr),
+            lambda rseq: self.send(
+                home, MessageType.WU_WRITE, addr=block, word=word_addr, value=value, rseq=rseq
+            ),
+        )
 
     def rmw(self, word_addr: int, op: str, operand=None):
         """Atomic at home; the new value is pushed to sharers like a write."""
@@ -94,9 +113,13 @@ class WUCacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
-        ev = self.expect(("c:rmw", word_addr))
-        self.send(home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand)
-        old = yield ev
+        old = yield from self.request(
+            ("c:rmw", word_addr),
+            lambda rseq: self.send(
+                home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op,
+                operand=operand, rseq=rseq,
+            ),
+        )
         return old
 
     def watch_invalidation(self, block: int) -> Event:
@@ -134,27 +157,52 @@ class WUCacheController(Controller):
 
     # -- handlers ----------------------------------------------------------
     def handle(self, msg: Message) -> None:
+        if not self.dedup_admit(msg):
+            return
         mt = msg.mtype
+        resilient = self.node.resilience is not None
         if mt is MessageType.DATA_BLOCK:
+            if resilient and not self.has_pending(("c:data", msg.addr)):
+                return  # stale duplicate of an already-answered read miss
             snapshot = list(msg.info["words"])
             self.node.cache.install(
                 msg.addr, list(msg.info["words"]), LineState.SHARED, now=self.sim.now
             )
+            if resilient and "vers" in msg.info:
+                # Seed the applied-version watermark from the home's version
+                # vector: an in-flight older push must not undo this data.
+                for off, ver in enumerate(msg.info["vers"]):
+                    word = self.amap.word_addr(msg.addr, off)
+                    if ver > self._applied_ver.get(word, 0):
+                        self._applied_ver[word] = ver
             self.resolve(("c:data", msg.addr), snapshot)
         elif mt is MessageType.WU_UPDATE:
-            line = self.node.cache.peek(msg.addr)
-            if line is not None:
-                self.stats.counters.add("wu.updates_received")
-                line.write_word(
-                    self.amap.offset_of(msg.info["word"]), msg.info["value"], dirty=False
-                )
-            self._notify_change(msg.addr)
+            self._on_update(msg, resilient)
         elif mt is MessageType.WU_ACK:
             self.resolve(("c:wuack", msg.info["word"]))
         elif mt is MessageType.RMW_REPLY:
             self.resolve(("c:rmw", msg.info["word"]), msg.info["old"])
         else:  # pragma: no cover - wiring error
             raise RuntimeError(f"WU cache controller got {msg!r}")
+
+    def _on_update(self, msg: Message, resilient: bool) -> None:
+        word, value = msg.info["word"], msg.info["value"]
+        stale = False
+        if resilient and "ver" in msg.info:
+            ver = msg.info["ver"]
+            stale = ver <= self._applied_ver.get(word, 0)
+            if not stale:
+                self._applied_ver[word] = ver
+        if not stale:
+            line = self.node.cache.peek(msg.addr)
+            if line is not None:
+                self.stats.counters.add("wu.updates_received")
+                line.write_word(self.amap.offset_of(word), value, dirty=False)
+            self._notify_change(msg.addr)
+        if msg.info.get("ack"):
+            # Always ack — even stale duplicates and pushes to an evicted
+            # line — so the home's fan-in can complete.
+            self.send(msg.src, MessageType.WU_UPDATE_ACK, addr=msg.addr)
 
 
 class WUHomeController(Controller):
@@ -168,9 +216,28 @@ class WUHomeController(Controller):
             MessageType.RMW_REQ,
         }
     )
-    IN_TYPES = REQUEST_TYPES
+    IN_TYPES = REQUEST_TYPES | {MessageType.WU_UPDATE_ACK}
+
+    def __init__(self, node: "Node"):
+        super().__init__(node)
+        #: word_addr -> version of the last write/rmw (resilient mode only).
+        self._word_ver: Dict[int, int] = {}
+        #: block -> in-flight update fan-in (resilient mode only).
+        self._upd_collectors: Dict[int, SourceAckCollector] = {}
 
     def handle(self, msg: Message) -> None:
+        if msg.mtype is MessageType.WU_UPDATE_ACK:
+            # Fan-in response for the in-flight transaction: bypasses both
+            # dedup (the collector absorbs duplicates) and the busy check.
+            coll = self._upd_collectors.get(msg.addr)
+            if coll is not None:
+                coll.ack(msg.src)
+            return
+        if not self.dedup_admit(msg):
+            return
+        self._admit(msg)
+
+    def _admit(self, msg: Message) -> None:
         entry = self.node.directory.entry(msg.addr)
         if entry.busy:
             entry.defer(msg)
@@ -188,29 +255,63 @@ class WUHomeController(Controller):
         entry.busy = False
         nxt = entry.pop_deferred()
         if nxt is not None:
-            self.handle(nxt)
+            self._admit(nxt)
 
     def _h_read_miss(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         entry.sharers.add(msg.src)
         words = self.node.memory.read_block(entry.block)
-        self.send(msg.src, MessageType.DATA_BLOCK, addr=entry.block, words=words)
+        extra = {}
+        if self.node.resilience is not None:
+            extra["vers"] = [
+                self._word_ver.get(w, 0) for w in self.amap.words_of(entry.block)
+            ]
+        self.reply_to(msg, MessageType.DATA_BLOCK, addr=entry.block, words=words, **extra)
         self._done(entry)
 
-    def _push_update(self, entry, word: int, value: int, exclude: int) -> int:
+    def _push_update(self, entry, word: int, value: int, exclude: int):
+        """Fan the updated word out to the registered sharers.
+
+        Reliable mode: fire-and-forget (FIFO channels deliver in order).
+        Resilient mode: versioned + acked — re-pushed to laggards until
+        every sharer confirms, so a dropped push cannot strand a stale copy.
+        """
         targets = [s for s in entry.sharers if s != exclude]
-        for t in targets:
-            self.send(t, MessageType.WU_UPDATE, addr=entry.block, word=word, value=value)
-        if targets:
-            self.stats.counters.add("wu.pushes", len(targets))
-        return len(targets)
+        if not targets:
+            return
+        self.stats.counters.add("wu.pushes", len(targets))
+        if self.node.resilience is None:
+            for t in targets:
+                self.send(t, MessageType.WU_UPDATE, addr=entry.block, word=word, value=value)
+            return
+        ver = self._word_ver[word]  # bumped by the caller before pushing
+
+        def push(tgts):
+            for t in sorted(tgts):
+                self.send(
+                    t, MessageType.WU_UPDATE, addr=entry.block,
+                    word=word, value=value, ver=ver, ack=True,
+                )
+
+        coll = SourceAckCollector(self.sim, targets)
+        self._upd_collectors[entry.block] = coll
+        push(targets)
+        try:
+            yield from self.await_acks(coll, push)
+        finally:
+            self._upd_collectors.pop(entry.block, None)
+
+    def _bump_ver(self, word: int) -> None:
+        if self.node.resilience is not None:
+            self._word_ver[word] = self._word_ver.get(word, 0) + 1
 
     def _h_write(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         word, value = msg.info["word"], msg.info["value"]
         self.node.memory.write_word(word, value)
-        self._push_update(entry, word, value, exclude=msg.src)
-        self.send(msg.src, MessageType.WU_ACK, addr=entry.block, word=word)
+        self._bump_ver(word)
+        yield from self._push_update(entry, word, value, exclude=msg.src)
+        self.reply_to(msg, MessageType.WU_ACK, addr=entry.block, word=word)
         self._done(entry)
 
     def _h_evict(self, msg: Message, entry):
@@ -225,6 +326,7 @@ class WUHomeController(Controller):
         old = mem.read_word(word)
         new = apply_rmw(msg.info["op"], old, msg.info["operand"])
         mem.write_word(word, new)
-        self._push_update(entry, word, new, exclude=-1)
-        self.send(msg.src, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
+        self._bump_ver(word)
+        yield from self._push_update(entry, word, new, exclude=-1)
+        self.reply_to(msg, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
         self._done(entry)

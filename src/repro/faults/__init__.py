@@ -1,0 +1,24 @@
+"""Fault injection, recovery policy, and hang diagnostics.
+
+* :class:`FaultSpec` / :class:`FaultPlan` — seeded description/runtime of an
+  unreliable interconnect (drop, duplicate, delay-spike, reorder, link/node
+  outage windows), hooked into :mod:`repro.network.topology`.
+* :class:`ResilienceParams` — the protocol-level timeout/retry/dedup policy
+  consumed by the controllers in :mod:`repro.coherence` and
+  :mod:`repro.sync`.
+* :class:`HangDiagnosis` / :func:`diagnose_machine` — the structured dump
+  the no-progress watchdog (:mod:`repro.sim.watchdog`) attaches to a
+  :class:`~repro.sim.watchdog.HangError`.
+"""
+
+from .diagnosis import HangDiagnosis, diagnose_machine
+from .plan import DEFAULT_RESILIENCE, FaultPlan, FaultSpec, ResilienceParams
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "ResilienceParams",
+    "DEFAULT_RESILIENCE",
+    "HangDiagnosis",
+    "diagnose_machine",
+]

@@ -1,0 +1,244 @@
+"""Seeded, schedulable fault plans for the interconnect.
+
+A :class:`FaultSpec` is an immutable *description* of an unreliable fabric:
+probabilistic message drop / duplication / delay spikes / reordering, plus
+deterministic link- and node-outage windows.  A :class:`FaultPlan` is the
+seeded *runtime* built from a spec: the interconnect consults it at three
+well-chosen points (see :mod:`repro.network.topology`) and the plan records
+everything it perturbed so a hang diagnosis can name the lost messages.
+
+Hook placement matters for soundness:
+
+* **Outages** act in ``send()`` *before* a channel sequence number is
+  assigned, so a message killed on a downed link never occupies a slot in
+  the per-channel FIFO resequencer.
+* **Delay spikes** act in ``_deliver_after`` — they stretch the flight time
+  but the FIFO resequencer still delivers the channel in order, exactly
+  like ordinary latency jitter.
+* **Drop / duplicate / reorder** act in ``_dispatch``, *after* FIFO
+  resequencing has consumed the sequence number.  Dropping earlier would
+  wedge the resequencer forever waiting for the missing sequence number —
+  a simulator artifact, not a modeled fault.
+
+All randomness comes from one ``random.Random(spec.seed)`` stream, so a
+(spec, workload, machine-seed) triple replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+__all__ = ["FaultSpec", "ResilienceParams", "FaultPlan", "DEFAULT_RESILIENCE"]
+
+#: Cap on the remembered drop log (diagnoses want the tail, not gigabytes).
+_DROP_LOG_CAP = 256
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Immutable description of an unreliable interconnect.
+
+    Probabilities are per *message* at the respective hook point.
+    ``link_down`` entries are ``(src, dst, start, end)`` — messages sent on
+    that directed channel with ``start <= now < end`` vanish.  ``node_down``
+    entries are ``(node, start, end)`` — messages to *or* from the node
+    vanish in the window (the node itself keeps simulating: the paper's
+    machine has no node-local fault model, only fabric loss).
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    spike_prob: float = 0.0
+    spike_cycles: int = 200
+    reorder_prob: float = 0.0
+    reorder_cycles: int = 12
+    link_down: Tuple[Tuple[int, int, int, int], ...] = ()
+    node_down: Tuple[Tuple[int, int, int], ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "spike_prob", "reorder_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.spike_cycles < 0 or self.reorder_cycles < 0:
+            raise ValueError("spike_cycles/reorder_cycles must be non-negative")
+        for src, dst, start, end in self.link_down:
+            if start > end:
+                raise ValueError(f"link_down window ({src},{dst},{start},{end}) is inverted")
+        for node, start, end in self.node_down:
+            if start > end:
+                raise ValueError(f"node_down window ({node},{start},{end}) is inverted")
+
+    @property
+    def is_null(self) -> bool:
+        """True when this spec perturbs nothing (the reliable fabric)."""
+        return (
+            self.drop_prob == self.dup_prob == self.spike_prob == self.reorder_prob == 0.0
+            and not self.link_down
+            and not self.node_down
+        )
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        return replace(self, seed=seed)
+
+    @classmethod
+    def draw(cls, rng: random.Random, *, seed: int, n_nodes: int, horizon: int = 4000) -> "FaultSpec":
+        """Sample a mixed campaign spec: drop + duplicate + delay-spike and,
+        half the time, a link-outage window somewhere in ``[0, horizon)``."""
+        link_down: Tuple[Tuple[int, int, int, int], ...] = ()
+        if n_nodes > 1 and rng.random() < 0.5:
+            src = rng.randrange(n_nodes)
+            dst = rng.randrange(n_nodes - 1)
+            if dst >= src:
+                dst += 1
+            start = rng.randrange(horizon)
+            link_down = ((src, dst, start, start + rng.randrange(100, 800)),)
+        return cls(
+            drop_prob=rng.choice([0.0, 0.01, 0.03, 0.08]),
+            dup_prob=rng.choice([0.0, 0.01, 0.05]),
+            spike_prob=rng.choice([0.0, 0.02, 0.05]),
+            spike_cycles=rng.choice([50, 200, 800]),
+            link_down=link_down,
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.drop_prob:
+            parts.append(f"drop={self.drop_prob}")
+        if self.dup_prob:
+            parts.append(f"dup={self.dup_prob}")
+        if self.spike_prob:
+            parts.append(f"spike={self.spike_prob}x{self.spike_cycles}")
+        if self.reorder_prob:
+            parts.append(f"reorder={self.reorder_prob}x{self.reorder_cycles}")
+        for src, dst, start, end in self.link_down:
+            parts.append(f"link({src}->{dst})down[{start},{end})")
+        for node, start, end in self.node_down:
+            parts.append(f"node({node})down[{start},{end})")
+        parts.append(f"seed={self.seed}")
+        return "FaultSpec(" + ", ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class ResilienceParams:
+    """Timeout/retry policy for protocol-level recovery.
+
+    ``request_timeout``
+        Cycles a requester waits for a reply before reissuing.
+    ``backoff`` / ``max_timeout``
+        Exponential backoff factor applied per retry, capped at
+        ``max_timeout`` cycles, so a retry storm self-throttles.
+    ``max_retries``
+        ``None`` = reissue until the watchdog gives up on the run;
+        ``0`` = never reissue (the deliberately broken model that proves
+        the watchdog catches real deadlocks).
+    ``dedup_capacity``
+        Per-source request-log entries a home node retains for absorbing
+        duplicate requests after their reply was sent.
+    """
+
+    request_timeout: int = 400
+    backoff: float = 2.0
+    max_timeout: int = 3200
+    max_retries: Optional[int] = None
+    dedup_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if self.max_timeout < self.request_timeout:
+            raise ValueError("max_timeout must be >= request_timeout")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be None or >= 0")
+        if self.dedup_capacity <= 0:
+            raise ValueError("dedup_capacity must be positive")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout for the ``attempt``-th issue (0 = first try)."""
+        return min(self.request_timeout * self.backoff**attempt, float(self.max_timeout))
+
+
+#: Policy used when faults are enabled but no explicit policy is given.
+DEFAULT_RESILIENCE = ResilienceParams()
+
+
+@dataclass
+class FaultPlan:
+    """Seeded runtime of a :class:`FaultSpec`; records what it perturbed."""
+
+    spec: FaultSpec
+    rng: random.Random = field(init=False, repr=False)
+    drops: int = 0
+    outage_drops: int = 0
+    dups: int = 0
+    spikes: int = 0
+    reorders: int = 0
+    drop_log: List[str] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.spec.seed)
+
+    # -- hook: Interconnect.send (pre sequence-number) -----------------------
+    def send_outage(self, src: int, dst: int, now: float) -> bool:
+        """True when the message dies on a downed link/node right now."""
+        for lsrc, ldst, start, end in self.spec.link_down:
+            if (src, dst) == (lsrc, ldst) and start <= now < end:
+                self._log_drop(f"t={now} outage link {src}->{dst}")
+                self.outage_drops += 1
+                return True
+        for node, start, end in self.spec.node_down:
+            if (src == node or dst == node) and start <= now < end:
+                self._log_drop(f"t={now} outage node {node} ({src}->{dst})")
+                self.outage_drops += 1
+                return True
+        return False
+
+    # -- hook: Interconnect._deliver_after (pre-FIFO) ------------------------
+    def extra_delay(self) -> float:
+        """Additional flight cycles (0 or a spike)."""
+        if self.spec.spike_prob and self.rng.random() < self.spec.spike_prob:
+            self.spikes += 1
+            return float(self.rng.randrange(1, self.spec.spike_cycles + 1))
+        return 0.0
+
+    # -- hook: Interconnect._dispatch (post-FIFO) ----------------------------
+    def dispatch_action(self, msg, now: float) -> str:
+        """One of ``"deliver" | "drop" | "dup" | "reorder"``."""
+        if self.spec.drop_prob and self.rng.random() < self.spec.drop_prob:
+            self.drops += 1
+            self._log_drop(f"t={now} drop {msg.mtype.name} {msg.src}->{msg.dst} addr={msg.addr}")
+            return "drop"
+        if self.spec.dup_prob and self.rng.random() < self.spec.dup_prob:
+            self.dups += 1
+            return "dup"
+        if self.spec.reorder_prob and self.rng.random() < self.spec.reorder_prob:
+            self.reorders += 1
+            return "reorder"
+        return "deliver"
+
+    def reorder_delay(self) -> float:
+        return float(self.rng.randrange(1, self.spec.reorder_cycles + 1))
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _log_drop(self, line: str) -> None:
+        if len(self.drop_log) < _DROP_LOG_CAP:
+            self.drop_log.append(line)
+
+    @property
+    def total_lost(self) -> int:
+        return self.drops + self.outage_drops
+
+    def counters(self) -> dict:
+        return {
+            "fault.drops": self.drops,
+            "fault.outage_drops": self.outage_drops,
+            "fault.dups": self.dups,
+            "fault.spikes": self.spikes,
+            "fault.reorders": self.reorders,
+        }

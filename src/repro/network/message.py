@@ -85,6 +85,7 @@ class MessageType(Enum):
     WU_WRITE = auto()  # cache -> home: write-through word
     WU_UPDATE = auto()  # home -> sharer: pushed word update
     WU_ACK = auto()  # home -> writer: write globally performed
+    WU_UPDATE_ACK = auto()  # sharer -> home: pushed update applied (resilient mode)
     WU_EVICT = auto()  # cache -> home: deregister a replaced clean copy
 
     # -- hardware semaphores (P is NP-Synch, V is CP-Synch) ------------------
@@ -141,6 +142,7 @@ _SIZE_CLASS: Dict[MessageType, SizeClass] = {
     MessageType.WU_WRITE: SizeClass.WORD,
     MessageType.WU_UPDATE: SizeClass.WORD,
     MessageType.WU_ACK: SizeClass.CONTROL,
+    MessageType.WU_UPDATE_ACK: SizeClass.CONTROL,
     MessageType.WU_EVICT: SizeClass.CONTROL,
     MessageType.SEM_P: SizeClass.CONTROL,
     MessageType.SEM_V: SizeClass.CONTROL,

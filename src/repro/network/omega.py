@@ -86,6 +86,8 @@ class BufferedOmegaNetwork(Interconnect):
     tree saturation become observable, which is the point of the ablation.
     """
 
+    HONORS_BUFFER_CAPACITY = True
+
     def __init__(self, sim: Simulator, n_nodes: int, params: Optional[NetworkParams] = None):
         super().__init__(sim, n_nodes, params)
         self.stages = num_stages(n_nodes)

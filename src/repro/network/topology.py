@@ -23,11 +23,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..sim.core import Simulator
 from ..sim.stats import StatSet
 from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
 
 __all__ = ["NetworkParams", "Interconnect", "DeliveryHandler"]
 
@@ -48,7 +51,13 @@ class NetworkParams:
         Cycles to deliver a message whose source and destination coincide.
     ``buffer_capacity``
         Per-port buffer capacity in messages; ``None`` = infinite (the
-        paper's assumption).  Only the buffered Omega variant honours this.
+        paper's assumption).  **Known limitation:** only the buffered Omega
+        variant (``network="omega-buffered"``) honours this — the analytic
+        Omega, bus, crossbar, and mesh models assume infinite buffering and
+        silently ignore the setting.  Each topology class advertises its
+        behavior via the ``HONORS_BUFFER_CAPACITY`` class flag, and a
+        regression test pins the flag per topology so a future backpressure
+        implementation must flip it deliberately.
     """
 
     switch_cycle: int = 1
@@ -68,6 +77,11 @@ class NetworkParams:
 class Interconnect(ABC):
     """Base interconnect: attach handlers, send messages, collect stats."""
 
+    #: Whether this topology enforces ``NetworkParams.buffer_capacity``
+    #: (finite port buffers with backpressure).  Only the buffered Omega
+    #: variant does; see the ``buffer_capacity`` docstring above.
+    HONORS_BUFFER_CAPACITY = False
+
     def __init__(self, sim: Simulator, n_nodes: int, params: Optional[NetworkParams] = None):
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
@@ -80,7 +94,21 @@ class Interconnect(ABC):
         self._chan_send_seq: Dict[tuple, int] = {}
         self._chan_deliver_seq: Dict[tuple, int] = {}
         self._chan_held: Dict[tuple, Dict[int, Message]] = {}
+        #: Optional fault injector; ``None`` = the paper's reliable fabric.
+        self.fault_plan: Optional["FaultPlan"] = None
         self.stats = StatSet()
+
+    def set_fault_plan(self, plan: Optional["FaultPlan"]) -> None:
+        """Install (or clear) a fault injector on this interconnect.
+
+        The plan is consulted at three points — outages in :meth:`send`
+        before a channel sequence number exists, delay spikes in
+        :meth:`_deliver_after` (pre-FIFO, so channel order is preserved),
+        and drop/duplicate/reorder in :meth:`_dispatch` after the FIFO
+        resequencer has consumed the sequence number.  Dropping earlier
+        would wedge the resequencer on the missing sequence number.
+        """
+        self.fault_plan = plan
 
     # -- wiring ---------------------------------------------------------
     def attach(self, node_id: int, handler: DeliveryHandler) -> None:
@@ -98,6 +126,14 @@ class Interconnect(ABC):
             raise ValueError(f"destination {msg.dst} out of range")
         if not 0 <= msg.src < self.n_nodes:
             raise ValueError(f"source {msg.src} out of range")
+        if self.fault_plan is not None and self.fault_plan.send_outage(
+            msg.src, msg.dst, self.sim.now
+        ):
+            # Died on a downed link/node before entering the fabric: no
+            # sequence number assigned, so the FIFO resequencer never waits
+            # for it.
+            self.stats.counters.add("fault.outage_drops")
+            return
         msg.send_time = self.sim.now
         chan = (msg.src, msg.dst)
         msg.chan_seq = self._chan_send_seq.get(chan, 0)
@@ -118,6 +154,11 @@ class Interconnect(ABC):
 
     # -- delivery ----------------------------------------------------------
     def _deliver_after(self, msg: Message, delay: float) -> None:
+        if self.fault_plan is not None:
+            spike = self.fault_plan.extra_delay()
+            if spike:
+                self.stats.counters.add("fault.spikes")
+                delay += spike
         ev = self.sim.timeout(delay, value=msg)
         ev.callbacks.append(self._on_arrival)
 
@@ -145,6 +186,26 @@ class Interconnect(ABC):
                 del self._chan_held[chan]
 
     def _dispatch(self, msg: Message) -> None:
+        if self.fault_plan is not None:
+            action = self.fault_plan.dispatch_action(msg, self.sim.now)
+            if action == "drop":
+                self.stats.counters.add("fault.drops")
+                return
+            if action == "dup":
+                self.stats.counters.add("fault.dups")
+                self._handle(msg)
+                self._handle(msg)
+                return
+            if action == "reorder":
+                # Late re-delivery straight to the handler, bypassing the
+                # FIFO resequencer: same-channel successors may overtake.
+                self.stats.counters.add("fault.reorders")
+                ev = self.sim.timeout(self.fault_plan.reorder_delay(), value=msg)
+                ev.callbacks.append(lambda e: self._handle(e.value))
+                return
+        self._handle(msg)
+
+    def _handle(self, msg: Message) -> None:
         self.stats.observe("latency", self.sim.now - msg.send_time)
         handler = self._handlers.get(msg.dst)
         if handler is None:

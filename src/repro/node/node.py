@@ -49,6 +49,14 @@ class Node:
         self.memory = MemoryModule(node_id, amap, cfg.memory_cycle)
         self.directory = Directory(node_id)
         self.stats = StatSet()
+        #: Timeout/retry policy; ``None`` = the paper's reliable fabric.
+        self.resilience = cfg.resilience
+        #: Per-node monotonic request sequence (tags retryable messages).
+        self._rseq = 0
+        #: Dedup log: ``(src, rseq) -> in-flight marker | recorded replies``.
+        self.req_log: Dict[Tuple, object] = {}
+        #: Per-source FIFO of log keys for bounded pruning.
+        self._req_order: Dict[int, list] = {}
         #: Pending request/reply rendezvous shared by all controllers.
         self._pending_replies: Dict[Tuple, Event] = {}
         self._dispatch: Dict[MessageType, "Controller"] = {}
@@ -56,6 +64,26 @@ class Node:
         #: controller (primitives machine) after construction.
         self.write_buffer: WriteBuffer | None = None
         net.attach(node_id, self.deliver)
+
+    def next_rseq(self) -> int:
+        """Fresh per-node request sequence number (resilience tagging)."""
+        self._rseq += 1
+        return self._rseq
+
+    def log_request(self, key: Tuple) -> None:
+        """Register a dedup-log key, pruning the oldest beyond capacity.
+
+        Capacity is per source node, so one chatty peer cannot evict the
+        dedup state that protects another peer's in-flight retries.
+        """
+        from ..coherence.base import _IN_FLIGHT
+
+        self.req_log[key] = _IN_FLIGHT
+        order = self._req_order.setdefault(key[0], [])
+        order.append(key)
+        cap = self.resilience.dedup_capacity if self.resilience else 0
+        while len(order) > cap:
+            self.req_log.pop(order.pop(0), None)
 
     def register(self, controller: "Controller") -> None:
         """Route the controller's message types to it."""

@@ -58,6 +58,7 @@ class Interrupt(Exception):
 _PENDING = 0
 _TRIGGERED = 1  # scheduled on the calendar, not yet processed
 _PROCESSED = 2  # callbacks have run
+_CANCELED = 3  # withdrawn from the calendar; popped and discarded silently
 
 
 class Event:
@@ -123,6 +124,18 @@ class Event:
         self._state = _TRIGGERED
         self.sim._schedule(self, delay)
         return self
+
+    def cancel(self) -> None:
+        """Withdraw a triggered-but-unprocessed event from the calendar.
+
+        The heap entry is discarded lazily when popped: the clock does not
+        advance to the canceled time and no callbacks run.  This is how
+        retry timers and watchdog wake-ups are disarmed without leaving
+        stray events that would inflate the run's completion time.
+        """
+        if self._state != _TRIGGERED:
+            raise SimulationError(f"cannot cancel {self!r}: not triggered/unprocessed")
+        self._state = _CANCELED
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
@@ -193,6 +206,14 @@ class Process(Event):
 
     # -- kernel internals --------------------------------------------------
     def _resume(self, trigger: Event) -> None:
+        if self._waiting_on is not None and trigger is not self._waiting_on:
+            # Resumed out-of-band (an interrupt scheduled before the process
+            # first ran): detach from the event we were parked on, or it
+            # would re-resume the finished generator when it fires later.
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
         self._waiting_on = None
         sim = self.sim
         sim._active_process = self
@@ -287,7 +308,7 @@ class AnyOf(_Condition):
 class Simulator:
     """The event calendar and execution loop."""
 
-    __slots__ = ("_heap", "_seq", "now", "_active_process", "_jitter")
+    __slots__ = ("_heap", "_seq", "now", "_active_process", "_jitter", "events_processed")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
@@ -296,6 +317,9 @@ class Simulator:
         self.now: float = 0
         self._active_process: Optional[Process] = None
         self._jitter: Optional[Callable[[float], float]] = None
+        #: Monotonic count of processed (non-canceled) events; the progress
+        #: watchdog compares successive readings to detect quiescence.
+        self.events_processed: int = 0
 
     # -- latency jitter -----------------------------------------------------
     def set_jitter(self, fn: Optional[Callable[[float], float]]) -> None:
@@ -344,17 +368,29 @@ class Simulator:
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none.
 
-    def step(self) -> None:
-        """Process exactly one event."""
+        Canceled events at the head of the calendar are discarded so the
+        reported time is that of the next event that will actually run.
+        """
+        heap = self._heap
+        while heap and heap[0][2]._state == _CANCELED:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else float("inf")
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False for a canceled entry
+        (discarded without advancing the clock or running callbacks)."""
         t, _seq, event = heapq.heappop(self._heap)
+        if event._state == _CANCELED:
+            return False
         self.now = t
         event._state = _PROCESSED
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, []
         for cb in callbacks:
             cb(event)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the calendar drains, ``until`` time, or ``max_events``.
@@ -366,9 +402,9 @@ class Simulator:
         count = 0
         heap = self._heap
         while heap:
-            if until is not None and heap[0][0] > until:
+            if until is not None and self.peek() > until:
                 return
-            self.step()
-            count += 1
-            if max_events is not None and count >= max_events:
-                return
+            if self.step():
+                count += 1
+                if max_events is not None and count >= max_events:
+                    return

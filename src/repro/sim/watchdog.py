@@ -1,0 +1,158 @@
+"""No-progress watchdog: turn silent hangs into structured diagnoses.
+
+The kernel happily drains its calendar and returns even when workload
+processes are still blocked on events nobody will ever trigger — which is
+exactly what a lost network message produces.  The :class:`Watchdog` is a
+kernel-level progress monitor armed on the calendar itself:
+
+* **Quiescence with outstanding work** — at a wake-up the calendar holds no
+  future event (``sim.peek()`` is infinite once the wake itself has fired)
+  while ``outstanding()`` still reports unfinished work: every remaining
+  process is blocked on an event nobody will ever trigger.  This is exact —
+  a long legitimate compute keeps its timeout on the calendar, so it can
+  never false-positive.  A reliable machine cannot reach this state; a
+  lossy fabric reaches it the moment a reply vanishes with retries
+  disabled or exhausted.
+* **Livelock / retry storm** — events keep firing but the ``progress()``
+  counter has not moved for ``stall_intervals`` consecutive wake-ups, or the
+  ``retries()`` counter exceeded ``retry_budget``.  This catches protocols
+  that babble (reissue forever) without ever completing.
+
+On detection the watchdog calls its ``diagnose(reason)`` callback (supplied
+by the machine layer, which knows how to walk MSHRs, write buffers, lock
+queues and network channels) and raises :class:`HangError` carrying the
+resulting diagnosis out of :meth:`Simulator.run`.
+
+The watchdog is pure calendar machinery: wake-ups are plain events with a
+callback, and :meth:`stop` cancels the pending wake-up so a finished run's
+completion time is never inflated by a stray watchdog tick.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .core import Event, Simulator
+
+__all__ = ["HangError", "Watchdog"]
+
+
+class HangError(RuntimeError):
+    """The watchdog detected a hang; ``diagnosis`` is the structured dump."""
+
+    def __init__(self, message: str, diagnosis: Any = None):
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class Watchdog:
+    """Progress monitor over one :class:`Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to watch.
+    outstanding:
+        Zero-arg callable; truthy while unfinished work exists (e.g. alive
+        workload processes).  When it goes falsy the watchdog disarms.
+    diagnose:
+        ``diagnose(reason) -> Any`` builds the structured diagnosis attached
+        to the raised :class:`HangError`.  ``reason`` is one of
+        ``"quiescent"``, ``"livelock"``, ``"retry-storm"``.
+    interval:
+        Cycles between wake-ups.  Must exceed the longest legitimate gap
+        between events of a healthy run (long computes, capped backoff).
+    progress:
+        Optional zero-arg callable returning a monotonic counter of useful
+        work (completed operations / resolved replies).  Only consulted for
+        livelock detection; quiescence detection needs no progress metric.
+    stall_intervals:
+        Consecutive progress-free (but event-active) intervals tolerated
+        before declaring livelock.
+    retries:
+        Optional zero-arg callable returning the cumulative retry count.
+    retry_budget:
+        Raise ``retry-storm`` once ``retries()`` exceeds this.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        outstanding: Callable[[], Any],
+        diagnose: Optional[Callable[[str], Any]] = None,
+        interval: float = 50_000,
+        progress: Optional[Callable[[], int]] = None,
+        stall_intervals: int = 3,
+        retries: Optional[Callable[[], int]] = None,
+        retry_budget: Optional[int] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("watchdog interval must be positive")
+        if stall_intervals < 1:
+            raise ValueError("stall_intervals must be at least 1")
+        self.sim = sim
+        self.outstanding = outstanding
+        self.diagnose = diagnose or (lambda reason: None)
+        self.interval = interval
+        self.progress = progress
+        self.stall_intervals = stall_intervals
+        self.retries = retries
+        self.retry_budget = retry_budget
+        self._wake: Optional[Event] = None
+        self._last_events = -1
+        self._last_progress = -1
+        self._stalled = 0
+        self.fired: Optional[str] = None  # reason, once triggered
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "Watchdog":
+        """Arm the watchdog (idempotent)."""
+        if self._wake is None:
+            self._last_events = self.sim.events_processed
+            self._last_progress = self.progress() if self.progress else 0
+            self._stalled = 0
+            self._arm()
+        return self
+
+    def stop(self) -> None:
+        """Disarm; cancels the pending wake-up so the calendar can drain."""
+        if self._wake is not None:
+            wake, self._wake = self._wake, None
+            if not wake.processed:
+                wake.cancel()
+
+    def _arm(self) -> None:
+        self._wake = self.sim.timeout(self.interval)
+        self._wake.callbacks.append(self._on_wake)
+
+    # -- the check ----------------------------------------------------------
+    def _on_wake(self, _ev: Event) -> None:
+        self._wake = None
+        if not self.outstanding():
+            return  # run finished normally; stay disarmed
+        seen = self.sim.events_processed
+        # Our wake was the calendar's last event and work remains: every
+        # outstanding process is blocked on an event that will never fire.
+        if self.sim.peek() == float("inf"):
+            self._trip("quiescent")
+        if self.retry_budget is not None and self.retries is not None:
+            if self.retries() > self.retry_budget:
+                self._trip("retry-storm")
+        if self.progress is not None:
+            p = self.progress()
+            if p == self._last_progress:
+                self._stalled += 1
+                if self._stalled >= self.stall_intervals:
+                    self._trip("livelock")
+            else:
+                self._stalled = 0
+            self._last_progress = p
+        self._last_events = seen
+        self._arm()
+
+    def _trip(self, reason: str) -> None:
+        self.fired = reason
+        raise HangError(
+            f"watchdog: no progress ({reason}) at t={self.sim.now}",
+            self.diagnose(reason),
+        )

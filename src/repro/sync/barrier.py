@@ -8,7 +8,7 @@ between sends (``2 t_nw + (n-1) t_D``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from ..coherence.base import Controller
 from ..network.message import Message, MessageType
@@ -20,7 +20,16 @@ __all__ = ["HardwareBarrierEngine"]
 
 
 class HardwareBarrierEngine(Controller):
-    """Hardware barrier support at both the arriving and home sides."""
+    """Hardware barrier support at both the arriving and home sides.
+
+    Resilient mode (``node.resilience`` set): the participant polls the home
+    with backoff until the *release* arrives, always under the same
+    ``rseq``.  The home records its ``BARRIER_ACK`` — and, once the episode
+    completes, the ``BARRIER_RELEASE`` — against that rseq, so each poll
+    replays exactly what the participant is owed: a lost arrive, ack, or
+    release is all recovered by the same mechanism, and a duplicated arrive
+    can never double-count the barrier.
+    """
 
     IN_TYPES = frozenset(
         {
@@ -30,6 +39,12 @@ class HardwareBarrierEngine(Controller):
         }
     )
 
+    def __init__(self, node: "Node"):
+        super().__init__(node)
+        #: (block, participant) -> its BARRIER_ARRIVE message, kept until
+        #: the release so the release is recorded under the arrive's rseq.
+        self._bar_req: Dict[Tuple[int, int], Message] = {}
+
     # -- participant side ----------------------------------------------------
     def wait(self, block: int, n: int):
         """Arrive at the barrier identified by ``block``; resume when all
@@ -37,6 +52,16 @@ class HardwareBarrierEngine(Controller):
         self.stats.counters.add("barrier.arrivals")
         yield self.sim.timeout(self.cfg.cache_cycle)
         home = self.amap.home_of(block)
+        if self.node.resilience is not None:
+            # One poll loop keyed on the release; the intermediate ack is
+            # informational (a replay may deliver it redundantly).
+            yield from self.request(
+                ("c:bar_rel", block),
+                lambda rseq: self.send(
+                    home, MessageType.BARRIER_ARRIVE, addr=block, n=n, rseq=rseq
+                ),
+            )
+            return
         ack = self.expect(("c:bar_ack", block))
         rel = self.expect(("c:bar_rel", block))
         self.send(home, MessageType.BARRIER_ARRIVE, addr=block, n=n)
@@ -45,14 +70,11 @@ class HardwareBarrierEngine(Controller):
 
     # -- dispatch ----------------------------------------------------------
     def handle(self, msg: Message) -> None:
+        if not self.dedup_admit(msg):
+            return
         mt = msg.mtype
         if mt is MessageType.BARRIER_ARRIVE:
-            entry = self.node.directory.entry(msg.addr)
-            if entry.busy:
-                entry.defer(msg)
-                return
-            entry.busy = True
-            self.sim.process(self._h_arrive(msg, entry), name=f"barrier-{msg.addr}")
+            self._admit(msg)
         elif mt is MessageType.BARRIER_ACK:
             self.resolve(("c:bar_ack", msg.addr))
         elif mt is MessageType.BARRIER_RELEASE:
@@ -60,24 +82,38 @@ class HardwareBarrierEngine(Controller):
         else:  # pragma: no cover - wiring error
             raise RuntimeError(f"barrier engine got {msg!r}")
 
+    def _admit(self, msg: Message) -> None:
+        entry = self.node.directory.entry(msg.addr)
+        if entry.busy:
+            entry.defer(msg)
+            return
+        entry.busy = True
+        self.sim.process(self._h_arrive(msg, entry), name=f"barrier-{msg.addr}")
+
     # -- home side ----------------------------------------------------------
     def _h_arrive(self, msg: Message, entry):
         # The barrier counter lives in main memory at the home node.
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         entry.barrier_count += 1
         entry.barrier_waiting.append(msg.src)
-        self.send(msg.src, MessageType.BARRIER_ACK, addr=entry.block)
+        if self.node.resilience is not None:
+            self._bar_req[(entry.block, msg.src)] = msg
+        self.reply_to(msg, MessageType.BARRIER_ACK, addr=entry.block)
         if entry.barrier_count >= msg.info["n"]:
             waiting, entry.barrier_waiting = entry.barrier_waiting, []
             entry.barrier_count = 0
             for i, node_id in enumerate(waiting):
                 if i:
                     yield self.sim.timeout(self.cfg.dir_cycle)
-                self.send(node_id, MessageType.BARRIER_RELEASE, addr=entry.block)
+                req_msg = self._bar_req.pop((entry.block, node_id), None)
+                if req_msg is not None:
+                    self.reply_to(req_msg, MessageType.BARRIER_RELEASE, addr=entry.block)
+                else:
+                    self.send(node_id, MessageType.BARRIER_RELEASE, addr=entry.block)
         self._done(entry)
 
     def _done(self, entry) -> None:
         entry.busy = False
         nxt = entry.pop_deferred()
         if nxt is not None:
-            self.handle(nxt)
+            self._admit(nxt)

@@ -24,11 +24,24 @@ Implementation notes (see DESIGN.md):
 * The unlocking processor continues immediately (unlock is CP-Synch: the
   *consistency model* decides whether to flush the write buffer first, and
   weak-ordering variants may request a completion ack).
+
+Resilient mode (``node.resilience`` set): acquire and release issue through
+:meth:`Controller.request` — a lost request, grant, or release is recovered
+by the backoff reissue, and the home's dedup replays the recorded grant for
+a retried request whose original already succeeded.  A *queued* waiter's
+retries are absorbed (its admit record stays in-flight); when the grant is
+finally issued it is recorded under the waiter's original ``rseq``, so the
+waiter's next poll recovers a grant the fabric ate.  Releases always
+request the home's ``QUEUE_ACK`` under resilience so they can be retried
+(a lost release would otherwise strand the whole queue).  The queue-chaining
+messages (``LOCK_FWD``/``LOCK_WAIT``) stay fire-and-forget: they maintain
+the advisory distributed pointers, and grant correctness never depends on
+them (see above).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from ..cache.states import LockMode
 from ..coherence.base import Controller
@@ -59,6 +72,12 @@ class CBLEngine(Controller):
         }
     )
 
+    def __init__(self, node: "Node"):
+        super().__init__(node)
+        #: (block, waiter) -> the queued LOCK_REQ message, kept so a grant
+        #: issued later can be recorded under the waiter's original rseq.
+        self._lock_req: Dict[Tuple[int, int], Message] = {}
+
     # ================= requester-side operations ===========================
     def acquire(self, block: int, mode: str = "write"):
         """READ-LOCK / WRITE-LOCK: returns when the lock is held.
@@ -77,12 +96,15 @@ class CBLEngine(Controller):
         line.lock = _WAIT[mode]
         yield self.sim.timeout(self.cfg.cache_cycle)
         home = self.amap.home_of(block)
-        ev = self.expect(("c:grant", block))
         mtype = (
             MessageType.LOCK_REQ_READ if mode == "read" else MessageType.LOCK_REQ_WRITE
         )
-        self.send(home, mtype, addr=block)
-        words = yield ev  # local spin: no network traffic while waiting
+        # Local spin: no network traffic while waiting (resilient mode polls
+        # with backoff, recovering a grant the fabric dropped).
+        words = yield from self.request(
+            ("c:grant", block),
+            lambda rseq: self.send(home, mtype, addr=block, rseq=rseq),
+        )
         line.data = list(words)
         line.dirty_mask = 0
         line.lock = _HELD[mode]
@@ -102,6 +124,16 @@ class CBLEngine(Controller):
         words, mask = list(line.data), line.dirty_mask
         line.lock = LockMode.NONE
         self.node.lockcache.release(block)
+        if self.node.resilience is not None:
+            # A lost release strands the whole queue: always ack + retry.
+            yield from self.request(
+                ("c:relack", block),
+                lambda rseq: self.send(
+                    home, MessageType.LOCK_RELEASE, addr=block,
+                    words=words, mask=mask, want_ack=True, rseq=rseq,
+                ),
+            )
+            return
         ev = self.expect(("c:relack", block)) if want_ack else None
         self.send(
             home,
@@ -138,17 +170,11 @@ class CBLEngine(Controller):
 
     # ================= message dispatch ====================================
     def handle(self, msg: Message) -> None:
+        if not self.dedup_admit(msg):
+            return
         mt = msg.mtype
         if mt in (MessageType.LOCK_REQ_READ, MessageType.LOCK_REQ_WRITE, MessageType.LOCK_RELEASE):
-            entry = self.node.directory.entry(msg.addr)
-            if entry.busy:
-                entry.defer(msg)
-                return
-            entry.busy = True
-            if mt is MessageType.LOCK_RELEASE:
-                self.sim.process(self._h_release(msg, entry), name=f"cbl-rel-{msg.addr}")
-            else:
-                self.sim.process(self._h_request(msg, entry), name=f"cbl-req-{msg.addr}")
+            self._admit(msg)
         elif mt is MessageType.LOCK_GRANT:
             self.resolve(("c:grant", msg.addr), msg.info["words"])
         elif mt is MessageType.LOCK_FWD:
@@ -160,11 +186,23 @@ class CBLEngine(Controller):
         else:  # pragma: no cover - wiring error
             raise RuntimeError(f"CBL engine got {msg!r}")
 
+    def _admit(self, msg: Message) -> None:
+        """Busy-check and launch a home transaction (post-dedup)."""
+        entry = self.node.directory.entry(msg.addr)
+        if entry.busy:
+            entry.defer(msg)
+            return
+        entry.busy = True
+        if msg.mtype is MessageType.LOCK_RELEASE:
+            self.sim.process(self._h_release(msg, entry), name=f"cbl-rel-{msg.addr}")
+        else:
+            self.sim.process(self._h_request(msg, entry), name=f"cbl-req-{msg.addr}")
+
     def _done(self, entry) -> None:
         entry.busy = False
         nxt = entry.pop_deferred()
         if nxt is not None:
-            self.handle(nxt)
+            self._admit(nxt)
 
     # ================= home-side handlers ===================================
     def _h_request(self, msg: Message, entry):
@@ -185,7 +223,7 @@ class CBLEngine(Controller):
             entry.queue_pointer = req
             yield self.sim.timeout(self.cfg.memory_cycle)
             words = self.node.memory.read_block(entry.block)
-            self.send(req, MessageType.LOCK_GRANT, addr=entry.block, words=words)
+            self.reply_to(msg, MessageType.LOCK_GRANT, addr=entry.block, words=words)
         else:
             old_tail = queue[-1][0]
             all_read_holders = all(m == "read" and h for _n, m, h in queue)
@@ -199,7 +237,11 @@ class CBLEngine(Controller):
                 self.stats.counters.add("cbl.read_shares")
                 yield self.sim.timeout(self.cfg.memory_cycle)
                 words = self.node.memory.read_block(entry.block)
-                self.send(req, MessageType.LOCK_GRANT, addr=entry.block, words=words)
+                self.reply_to(msg, MessageType.LOCK_GRANT, addr=entry.block, words=words)
+            elif self.node.resilience is not None:
+                # Queued: keep the request so the eventual grant is recorded
+                # under the waiter's rseq (its polls then replay the grant).
+                self._lock_req[(entry.block, req)] = msg
         self._done(entry)
 
     def _h_release(self, msg: Message, entry):
@@ -223,13 +265,13 @@ class CBLEngine(Controller):
             words = self.node.memory.read_block(entry.block)
             if queue[0][1] == "write":
                 queue[0][2] = True
-                self.send(queue[0][0], MessageType.LOCK_GRANT, addr=entry.block, words=words)
+                self._grant(entry, queue[0][0], words)
             else:
                 for it in queue:
                     if it[1] != "read":
                         break
                     it[2] = True
-                    self.send(it[0], MessageType.LOCK_GRANT, addr=entry.block, words=words)
+                    self._grant(entry, it[0], words)
                     yield self.sim.timeout(self.cfg.dir_cycle)
         if not queue:
             entry.lock_held = False
@@ -238,8 +280,17 @@ class CBLEngine(Controller):
         else:
             entry.queue_pointer = queue[-1][0]
         if msg.info.get("want_ack"):
-            self.send(rel, MessageType.QUEUE_ACK, addr=entry.block)
+            self.reply_to(msg, MessageType.QUEUE_ACK, addr=entry.block)
         self._done(entry)
+
+    def _grant(self, entry, waiter: int, words) -> None:
+        """Send a LOCK_GRANT to a woken waiter, recording it against the
+        waiter's queued request (resilient mode) so retries replay it."""
+        req_msg = self._lock_req.pop((entry.block, waiter), None)
+        if req_msg is not None:
+            self.reply_to(req_msg, MessageType.LOCK_GRANT, addr=entry.block, words=words)
+        else:
+            self.send(waiter, MessageType.LOCK_GRANT, addr=entry.block, words=words)
 
     def _splice_pointers(self, entry, idx: int, departed: int) -> None:
         """Fix the distributed prev/next pointers around a departure."""

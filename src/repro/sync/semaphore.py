@@ -11,7 +11,7 @@ CBL's serial lock.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from ..coherence.base import Controller
 from ..network.message import Message, MessageType
@@ -36,21 +36,39 @@ class SemaphoreEngine(Controller):
         }
     )
 
+    def __init__(self, node: "Node"):
+        super().__init__(node)
+        #: (block, waiter) -> the queued SEM_P message; a grant issued by a
+        #: later V is recorded under the waiter's original rseq.
+        self._sem_req: Dict[Tuple[int, int], Message] = {}
+
     # -- requester side ----------------------------------------------------
     def p(self, block: int):
         """Semaphore P (down): returns when granted.  NP-Synch."""
         self.stats.counters.add("sem.p")
         yield self.sim.timeout(self.cfg.cache_cycle)
         home = self.amap.home_of(block)
-        ev = self.expect(("c:sem_grant", block))
-        self.send(home, MessageType.SEM_P, addr=block)
-        yield ev  # waiters spin locally: no traffic until granted
+        # Waiters spin locally: no traffic until granted (resilient mode
+        # polls with backoff; queued polls are absorbed by the home's dedup).
+        yield from self.request(
+            ("c:sem_grant", block),
+            lambda rseq: self.send(home, MessageType.SEM_P, addr=block, rseq=rseq),
+        )
 
     def v(self, block: int, want_ack: bool = False):
         """Semaphore V (up).  CP-Synch; fire-and-forget unless ``want_ack``."""
         self.stats.counters.add("sem.v")
         yield self.sim.timeout(self.cfg.cache_cycle)
         home = self.amap.home_of(block)
+        if self.node.resilience is not None:
+            # A lost V loses a count forever: always ack + retry.
+            yield from self.request(
+                ("c:sem_ack", block),
+                lambda rseq: self.send(
+                    home, MessageType.SEM_V, addr=block, want_ack=True, rseq=rseq
+                ),
+            )
+            return
         ev = self.expect(("c:sem_ack", block)) if want_ack else None
         self.send(home, MessageType.SEM_V, addr=block, want_ack=want_ack)
         if ev is not None:
@@ -58,15 +76,11 @@ class SemaphoreEngine(Controller):
 
     # -- dispatch ----------------------------------------------------------
     def handle(self, msg: Message) -> None:
+        if not self.dedup_admit(msg):
+            return
         mt = msg.mtype
         if mt in (MessageType.SEM_P, MessageType.SEM_V):
-            entry = self.node.directory.entry(msg.addr)
-            if entry.busy:
-                entry.defer(msg)
-                return
-            entry.busy = True
-            handler = self._h_p if mt is MessageType.SEM_P else self._h_v
-            self.sim.process(handler(msg, entry), name=f"sem-{mt.name}-{msg.addr}")
+            self._admit(msg)
         elif mt is MessageType.SEM_GRANT:
             self.resolve(("c:sem_grant", msg.addr))
         elif mt is MessageType.SEM_ACK:
@@ -74,31 +88,47 @@ class SemaphoreEngine(Controller):
         else:  # pragma: no cover - wiring error
             raise RuntimeError(f"semaphore engine got {msg!r}")
 
+    def _admit(self, msg: Message) -> None:
+        """Busy-check and launch a home transaction (post-dedup)."""
+        entry = self.node.directory.entry(msg.addr)
+        if entry.busy:
+            entry.defer(msg)
+            return
+        entry.busy = True
+        handler = self._h_p if msg.mtype is MessageType.SEM_P else self._h_v
+        self.sim.process(handler(msg, entry), name=f"sem-{msg.mtype.name}-{msg.addr}")
+
     def _done(self, entry) -> None:
         entry.busy = False
         nxt = entry.pop_deferred()
         if nxt is not None:
-            self.handle(nxt)
+            self._admit(nxt)
 
     # -- home side ----------------------------------------------------------
     def _h_p(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         if entry.sem_count > 0:
             entry.sem_count -= 1
-            self.send(msg.src, MessageType.SEM_GRANT, addr=entry.block)
+            self.reply_to(msg, MessageType.SEM_GRANT, addr=entry.block)
         else:
             entry.sem_waiters.append(msg.src)
+            if self.node.resilience is not None:
+                self._sem_req[(entry.block, msg.src)] = msg
         self._done(entry)
 
     def _h_v(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         if entry.sem_waiters:
             waiter = entry.sem_waiters.pop(0)  # FIFO wake-up
-            self.send(waiter, MessageType.SEM_GRANT, addr=entry.block)
+            req_msg = self._sem_req.pop((entry.block, waiter), None)
+            if req_msg is not None:
+                self.reply_to(req_msg, MessageType.SEM_GRANT, addr=entry.block)
+            else:
+                self.send(waiter, MessageType.SEM_GRANT, addr=entry.block)
         else:
             entry.sem_count += 1
         if msg.info.get("want_ack"):
-            self.send(msg.src, MessageType.SEM_ACK, addr=entry.block)
+            self.reply_to(msg, MessageType.SEM_ACK, addr=entry.block)
         self._done(entry)
 
 

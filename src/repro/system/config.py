@@ -8,7 +8,10 @@ cycles, and an Omega interconnect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import ResilienceParams
 
 __all__ = ["MachineConfig"]
 
@@ -44,6 +47,12 @@ class MachineConfig:
     #: forwards hop-by-hop down the distributed linked list (the literal
     #: hardware structure; serial latency — kept as an ablation).
     ru_propagation: str = "multicast"
+    #: Timeout/retry/dedup policy (:class:`~repro.faults.plan.ResilienceParams`).
+    #: ``None`` = the paper's reliable fabric: no sequence numbers, no
+    #: timers, bit-identical to the pre-resilience machine.  Building a
+    #: :class:`~repro.system.machine.Machine` with a fault plan defaults
+    #: this to :data:`~repro.faults.plan.DEFAULT_RESILIENCE`.
+    resilience: Optional["ResilienceParams"] = None
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Generator, List, Optional
 
 from ..cache.writebuffer import WriteBuffer
 from ..coherence.readupdate import PrimitivesCacheController, PrimitivesHomeController
 from ..coherence.wbi import WBICacheController, WBIHomeController
 from ..coherence.writeupdate import WUCacheController, WUHomeController
+from ..faults.diagnosis import diagnose_machine
+from ..faults.plan import DEFAULT_RESILIENCE, FaultPlan, FaultSpec
 from ..memory.address import AddressMap
 from ..network.bus import BusNetwork
 from ..network.crossbar import CrossbarNetwork
@@ -17,8 +20,9 @@ from ..network.omega import BufferedOmegaNetwork, OmegaNetwork
 from ..network.topology import NetworkParams
 from ..node.node import Node
 from ..node.processor import Processor
-from ..sim.core import Process, Simulator
+from ..sim.core import AllOf, Process, Simulator
 from ..sim.rng import RngStreams
+from ..sim.watchdog import Watchdog
 from ..sync.barrier import HardwareBarrierEngine
 from ..sync.cbl import CBLEngine
 from ..sync.semaphore import SemaphoreEngine
@@ -51,15 +55,40 @@ class Machine:
 
     Every variant carries the CBL lock engine, the hardware barrier, and
     hardware semaphores.
+
+    ``faults`` installs a :class:`~repro.faults.plan.FaultSpec` on the
+    interconnect (drops, duplicates, delay spikes, link/node outages).  A
+    non-null spec implies the protocols must recover, so the config's
+    ``resilience`` policy is defaulted to
+    :data:`~repro.faults.plan.DEFAULT_RESILIENCE` unless the caller set one
+    explicitly (set ``cfg.resilience`` with ``max_retries=0`` to study the
+    watchdog on an unprotected machine).  Without ``faults`` nothing
+    changes: the fabric is reliable and runs are bit-identical to a machine
+    built without the parameter.
     """
 
     PROTOCOLS = ("wbi", "primitives", "writeupdate")
 
-    def __init__(self, cfg: MachineConfig, protocol: str = "wbi"):
+    #: Cumulative retries across the machine before the watchdog calls the
+    #: run a retry storm (livelock).  Generous: a healthy recovering run
+    #: needs a handful per lost message.
+    retry_budget: int = 5000
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        protocol: str = "wbi",
+        faults: Optional[FaultSpec] = None,
+    ):
         if protocol not in self.PROTOCOLS:
             raise ValueError(f"protocol must be one of {self.PROTOCOLS}, got {protocol!r}")
+        if faults is not None and not faults.is_null and cfg.resilience is None:
+            cfg = dataclasses.replace(cfg, resilience=DEFAULT_RESILIENCE)
         self.cfg = cfg
         self.protocol = protocol
+        self.fault_plan: Optional[FaultPlan] = (
+            FaultPlan(faults) if faults is not None and not faults.is_null else None
+        )
         self.sim = Simulator()
         self.rng = RngStreams(cfg.seed)
         self.amap = AddressMap(cfg.n_nodes, cfg.words_per_block)
@@ -70,6 +99,8 @@ class Machine:
             buffer_capacity=cfg.buffer_capacity,
         )
         self.net = _NETWORKS[cfg.network](self.sim, cfg.n_nodes, net_params)
+        if self.fault_plan is not None:
+            self.net.set_fault_plan(self.fault_plan)
         self.nodes: List[Node] = []
         for i in range(cfg.n_nodes):
             node = Node(i, self.sim, cfg, self.net, self.amap)
@@ -86,6 +117,8 @@ class Machine:
                     self.sim,
                     self._make_issue(node),
                     capacity=cfg.write_buffer_capacity,
+                    resilience=cfg.resilience,
+                    retry_counters=node.stats.counters,
                 )
             node.register(node.data_ctl)
             node.register(node.home_ctl)
@@ -102,16 +135,24 @@ class Machine:
 
     # -- write buffer wiring ---------------------------------------------------
     def _make_issue(self, node: Node):
+        resilient = self.cfg.resilience is not None
+
         def issue(word_addr: int, value: int, entry_id: int) -> None:
             block = self.amap.block_of(word_addr)
             home = self.amap.home_of(block)
+            info = {"word": word_addr, "value": value, "entry_id": entry_id}
+            if resilient:
+                # Reissues reuse the entry id, so a ("wb", entry_id) rseq
+                # (disjoint from the int controller rseqs) makes the home's
+                # dedup absorb duplicated writes and replay the lost ack.
+                info["rseq"] = ("wb", entry_id)
             self.net.send(
                 Message(
                     src=node.node_id,
                     dst=home,
                     mtype=MessageType.GLOBAL_WRITE,
                     addr=block,
-                    info={"word": word_addr, "value": value, "entry_id": entry_id},
+                    info=info,
                 )
             )
 
@@ -154,12 +195,45 @@ class Machine:
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
 
-    def run_all(self, max_cycles: Optional[float] = None) -> float:
+    def run_all(
+        self,
+        max_cycles: Optional[float] = None,
+        watchdog: Optional[bool] = None,
+    ) -> float:
         """Run until every spawned workload finishes; returns completion time.
 
         Raises if ``max_cycles`` elapses first (deadlock guard).
+
+        ``watchdog`` arms a :class:`~repro.sim.watchdog.Watchdog` that turns
+        a silent hang (lost message, retry storm) into a
+        :class:`~repro.sim.watchdog.HangError` carrying a structured
+        :class:`~repro.faults.diagnosis.HangDiagnosis`.  ``None`` (default)
+        arms it exactly when the machine has a fault plan or a resilience
+        policy — a reliable machine's calendar is untouched.
         """
-        self.sim.run(until=max_cycles)
+        if watchdog is None:
+            watchdog = self.fault_plan is not None or self.cfg.resilience is not None
+        wd = None
+        if watchdog and self._procs:
+            res = self.cfg.resilience
+            interval = 4 * res.max_timeout if res is not None else 50_000
+            wd = Watchdog(
+                self.sim,
+                outstanding=lambda: any(p.is_alive for p in self._procs),
+                diagnose=lambda reason: diagnose_machine(self, reason),
+                interval=interval,
+                retries=lambda: self._resilience_counter("resilience.retries"),
+                retry_budget=self.retry_budget,
+            ).start()
+            # Cancel the pending wake the instant the last workload finishes
+            # so the watchdog never inflates the run's completion time.
+            done = AllOf(self.sim, list(self._procs))
+            done.callbacks.append(lambda _e: wd.stop())
+        try:
+            self.sim.run(until=max_cycles)
+        finally:
+            if wd is not None:
+                wd.stop()
         alive = [p for p in self._procs if p.is_alive]
         if alive:
             raise RuntimeError(
@@ -167,6 +241,12 @@ class Machine:
                 f"t={self.sim.now}: possible deadlock or max_cycles too low"
             )
         return self.sim.now
+
+    def _resilience_counter(self, key: str) -> int:
+        total = 0
+        for node in self.nodes:
+            total += node.stats.counters.as_dict().get(key, 0)
+        return total
 
     # -- reporting ----------------------------------------------------------
     def metrics(self) -> RunMetrics:
@@ -186,6 +266,11 @@ class Machine:
         for proc in self._processors:
             for k in ("compute_cycles", "data_cycles", "sync_cycles"):
                 m.node_counters[k] = m.node_counters.get(k, 0) + proc.stats.counters[k]
+        m.retries = m.node_counters.get("resilience.retries", 0)
+        m.timeouts = m.node_counters.get("resilience.timeouts", 0)
+        m.timeout_cycles = m.node_counters.get("resilience.timeout_cycles", 0)
+        if self.fault_plan is not None:
+            m.faults = self.fault_plan.counters()
         return m
 
     def time_breakdown(self) -> dict:

@@ -23,6 +23,15 @@ class RunMetrics:
     mean_net_latency: float = 0.0
     msg_by_type: Dict[str, int] = field(default_factory=dict)
     node_counters: Dict[str, int] = field(default_factory=dict)
+    #: Resilience bookkeeping (all zero on a reliable run): requests
+    #: reissued after a timeout, timeouts that fired, and the cycles spent
+    #: inside expired timeout windows.
+    retries: int = 0
+    timeouts: int = 0
+    timeout_cycles: int = 0
+    #: Fault-injection tally from the installed :class:`FaultPlan`
+    #: (empty dict when no plan is installed).
+    faults: Dict[str, int] = field(default_factory=dict)
 
     def messages_of(self, prefix: str) -> int:
         """Total messages whose type name starts with ``prefix``."""

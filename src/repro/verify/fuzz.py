@@ -42,11 +42,25 @@ CLI
 budget cycling through all protocol × model combinations; ``--inject``
 swaps in a deliberately broken model from
 :mod:`repro.consistency.faults` to demonstrate detection + shrinking.
+
+``--faults`` (off by default) additionally draws a seeded
+:class:`~repro.faults.plan.FaultSpec` per iteration — drops, duplicates,
+delay spikes, link outages — so every oracle must hold *after protocol
+recovery*.  A hang caught by the watchdog is a first-class failing
+outcome: the structured :class:`~repro.faults.diagnosis.HangDiagnosis` is
+reported (``--dump-diagnosis`` writes it as JSON) and the fault schedule
+is shrunk to a minimal reproducer alongside the program.
+``--max-wall-seconds`` bounds the wall-clock budget.
+
+Exit codes (pinned by tests): **0** = budget exhausted with no failure,
+**1** = a failure was found (reproducer printed), **2** = bad usage.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import random
 import sys
 import time
 from dataclasses import dataclass, replace
@@ -54,7 +68,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..consistency.faults import FAULT_MODELS, get_fault_model
 from ..consistency.models import ConsistencyModel, get_model
+from ..faults.diagnosis import HangDiagnosis
+from ..faults.plan import FaultSpec
 from ..sim.rng import RngStreams
+from ..sim.watchdog import HangError
 from ..sync.base import CBLLock, HWBarrier
 from ..system.config import MachineConfig
 from ..system.machine import Machine
@@ -68,6 +85,7 @@ __all__ = [
     "gen_program",
     "run_program",
     "shrink",
+    "shrink_faults",
     "make_failure_oracle",
     "to_regression_source",
     "fuzz",
@@ -232,15 +250,19 @@ def run_program(
     jitter: float = 0.0,
     jitter_prob: float = 0.25,
     max_cycles: float = 5_000_000,
+    faults: Optional[FaultSpec] = None,
+    on_hang: Optional[Callable[[HangDiagnosis], None]] = None,
 ) -> Optional[str]:
     """Execute ``program`` once and run every oracle.
 
     Returns ``None`` on success or a human-readable failure description.
-    Fully deterministic for a fixed argument tuple.
+    Fully deterministic for a fixed argument tuple.  ``faults`` installs a
+    fault plan (the oracles then check the *recovered* run); a watchdog
+    hang is reported as a failure and its diagnosis passed to ``on_hang``.
     """
     n_nodes = max(4, _next_pow2(program.n_threads + 1))
     cfg = MachineConfig(n_nodes=n_nodes, cache_blocks=64, cache_assoc=2, seed=seed)
-    machine = Machine(cfg, protocol=protocol)
+    machine = Machine(cfg, protocol=protocol, faults=faults)
     if jitter > 0:
         machine.sim.set_jitter(
             make_jitter(machine.rng.stream("fuzz.jitter"), 1.0 + jitter, prob=jitter_prob)
@@ -317,6 +339,12 @@ def run_program(
 
     try:
         machine.run_all(max_cycles=max_cycles)
+    except HangError as exc:
+        diag = exc.diagnosis
+        if diag is not None and on_hang is not None:
+            on_hang(diag)
+        blame = "; ".join(sorted(diag.blame)) if diag is not None else "no diagnosis"
+        return f"hang diagnosed: {exc} [{blame}]"
     except RuntimeError as exc:
         return f"deadlock guard: {exc}"
 
@@ -457,12 +485,47 @@ def shrink(
     return program
 
 
+def _fault_reductions(spec: FaultSpec):
+    """Candidate one-step fault-schedule reductions."""
+    for name in ("drop_prob", "dup_prob", "spike_prob", "reorder_prob"):
+        if getattr(spec, name):
+            yield replace(spec, **{name: 0.0})
+    for i in range(len(spec.link_down)):
+        yield replace(spec, link_down=spec.link_down[:i] + spec.link_down[i + 1 :])
+    for i in range(len(spec.node_down)):
+        yield replace(spec, node_down=spec.node_down[:i] + spec.node_down[i + 1 :])
+
+
+def shrink_faults(
+    spec: FaultSpec,
+    fails: Callable[[FaultSpec], Optional[str]],
+) -> FaultSpec:
+    """Greedily minimize a fault schedule while ``fails`` still fails.
+
+    Zeroes whole fault classes (drop, duplicate, spike, reorder) and strips
+    outage windows one at a time; the result is a local minimum — no single
+    fault class or window can be removed without losing the failure.
+    """
+    if fails(spec) is None:
+        raise ValueError("shrink_faults() requires a failing fault spec")
+    improved = True
+    while improved:
+        improved = False
+        for cand in _fault_reductions(spec):
+            if fails(cand) is not None:
+                spec = cand
+                improved = True
+                break
+    return spec
+
+
 def make_failure_oracle(
     protocol: str,
     model: Union[str, ConsistencyModel],
     seeds: Sequence[int],
     jitter: float,
     jitter_prob: float = 0.25,
+    faults: Optional[FaultSpec] = None,
 ) -> Callable[[Program], Optional[str]]:
     """A deterministic ``fails(program)`` probing several machine seeds."""
 
@@ -475,6 +538,7 @@ def make_failure_oracle(
                 seed=seed,
                 jitter=jitter,
                 jitter_prob=jitter_prob,
+                faults=faults,
             )
             if failure is not None:
                 return f"seed {seed}: {failure}"
@@ -503,15 +567,21 @@ def to_regression_source(
     seeds: Sequence[int],
     jitter: float,
     jitter_prob: float = 0.25,
+    faults: Optional[FaultSpec] = None,
 ) -> str:
     """Ready-to-paste pytest source reproducing the failure."""
     model_name = model if isinstance(model, str) else model.name
     seed_list = ", ".join(str(s) for s in seeds)
+    fault_import = ""
+    fault_kwarg = ""
+    if faults is not None:
+        fault_import = "    from repro.faults.plan import FaultSpec\n"
+        fault_kwarg = f"            faults={faults!r},\n"
     return f'''\
 def test_fuzz_regression():
     """Shrunk by repro.verify.fuzz: {program.size()} operation(s), {program.n_threads} thread(s)."""
     from repro.verify.fuzz import Atom, Program, run_program
-
+{fault_import}
     program = {_program_literal(program)}
     for seed in ({seed_list},):
         failure = run_program(
@@ -521,7 +591,7 @@ def test_fuzz_regression():
             seed=seed,
             jitter={jitter!r},
             jitter_prob={jitter_prob!r},
-        )
+{fault_kwarg}        )
         assert failure is None, failure
 '''
 
@@ -544,6 +614,13 @@ class FuzzReport:
     seed: int = 0
     jitter: float = 0.0
     reproducer: str = ""
+    #: Fault-campaign extras (``--faults``): the drawn spec, its shrunk
+    #: minimal form, the structured hang diagnosis (if the failure was a
+    #: watchdog trip), and whether the wall-clock guard cut the budget.
+    fault_spec: Optional[FaultSpec] = None
+    shrunk_faults: Optional[FaultSpec] = None
+    diagnosis: Optional[HangDiagnosis] = None
+    stopped_by_wall_clock: bool = False
 
     @property
     def ok(self) -> bool:
@@ -560,6 +637,8 @@ def fuzz(
     do_shrink: bool = True,
     max_threads: int = 4,
     max_rounds: int = 3,
+    faults: bool = False,
+    max_wall_seconds: Optional[float] = None,
     verbose: bool = False,
     log: Callable[[str], None] = lambda s: None,
 ) -> FuzzReport:
@@ -569,11 +648,22 @@ def fuzz(
     combination so even small budgets cover the whole matrix.  ``inject``
     names a fault model from :data:`repro.consistency.faults.FAULT_MODELS`
     to substitute for the drawn model (used to validate the harness).
+
+    ``faults=True`` draws a seeded fault schedule per iteration; on
+    failure, the schedule is shrunk before the program is (each is
+    minimized with the other held fixed).  ``max_wall_seconds`` stops the
+    loop — reported via ``stopped_by_wall_clock`` — once the wall-clock
+    budget is spent; runs already started are finished, never aborted.
     """
+    t0 = time.monotonic()
     streams = RngStreams(master_seed)
     combos = [(p, m) for p in protocols for m in models]
     report = FuzzReport(runs_by_combo={c: 0 for c in combos})
     for i in range(iters):
+        if max_wall_seconds is not None and time.monotonic() - t0 > max_wall_seconds:
+            report.stopped_by_wall_clock = True
+            log(f"wall-clock budget ({max_wall_seconds}s) spent after {i} iteration(s)")
+            break
         protocol, model = combos[i % len(combos)]
         model_used: Union[str, ConsistencyModel] = inject if inject else model
         rng = streams.stream(f"iter{i}")
@@ -584,6 +674,13 @@ def fuzz(
         )
         seed = int(rng.integers(0, 2**31 - 1))
         jitter = float(rng.uniform(0.0, max_jitter))
+        fspec: Optional[FaultSpec] = None
+        if faults:
+            n_nodes = max(4, _next_pow2(program.n_threads + 1))
+            frng = random.Random(int(rng.integers(0, 2**31 - 1)))
+            fspec = FaultSpec.draw(
+                frng, seed=int(rng.integers(0, 2**31 - 1)), n_nodes=n_nodes
+            )
         report.iterations = i + 1
         report.runs_by_combo[(protocol, model)] += 1
         if verbose:
@@ -591,9 +688,15 @@ def fuzz(
                 f"[{i:4d}] {protocol}×{model_used if isinstance(model_used, str) else model_used.name}"
                 f" threads={program.n_threads} atoms={program.size()}"
                 f" seed={seed} jitter={jitter:.2f}"
+                + (f" {fspec.describe()}" if fspec is not None else "")
             )
+
+        def note_hang(diag: HangDiagnosis) -> None:
+            report.diagnosis = diag
+
         failure = run_program(
-            program, protocol=protocol, model=model_used, seed=seed, jitter=jitter
+            program, protocol=protocol, model=model_used, seed=seed, jitter=jitter,
+            faults=fspec, on_hang=note_hang,
         )
         if failure is None:
             continue
@@ -603,15 +706,35 @@ def fuzz(
         report.model = model_used if isinstance(model_used, str) else model_used.name
         report.seed = seed
         report.jitter = jitter
+        report.fault_spec = fspec
         log(f"iteration {i}: FAILURE under {protocol}×{report.model}: {failure}")
         if do_shrink:
-            oracle_seeds = [seed] + [seed + k + 1 for k in range(4)]
-            oracle = make_failure_oracle(protocol, model_used, oracle_seeds, jitter)
+            shrunk_spec = fspec
+            if fspec is not None:
+                log(f"shrinking fault schedule from {fspec.describe()} ...")
+                shrunk_spec = shrink_faults(
+                    fspec,
+                    lambda s: run_program(
+                        program, protocol=protocol, model=model_used,
+                        seed=seed, jitter=jitter, faults=s,
+                    ),
+                )
+                report.shrunk_faults = shrunk_spec
+                log(f"fault schedule shrunk to {shrunk_spec.describe()}")
+            # Under faults a single (deterministic) seed pins the schedule;
+            # extra seeds would shrink against a different fault pattern.
+            oracle_seeds = (
+                [seed] if fspec is not None
+                else [seed] + [seed + k + 1 for k in range(4)]
+            )
+            oracle = make_failure_oracle(
+                protocol, model_used, oracle_seeds, jitter, faults=shrunk_spec
+            )
             log(f"shrinking from {program.size()} operation(s) ...")
             shrunk = shrink(program, oracle)
             report.shrunk_program = shrunk
             report.reproducer = to_regression_source(
-                shrunk, protocol, model_used, oracle_seeds, jitter
+                shrunk, protocol, model_used, oracle_seeds, jitter, faults=shrunk_spec
             )
             log(
                 f"shrunk to {shrunk.size()} operation(s) / "
@@ -655,6 +778,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking on failure"
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="draw a seeded fault schedule (drops/dups/spikes/outages) per "
+        "iteration; oracles then check the recovered run (off by default)",
+    )
+    parser.add_argument(
+        "--max-wall-seconds",
+        type=float,
+        default=None,
+        help="stop drawing new iterations once this much wall time is spent",
+    )
+    parser.add_argument(
+        "--dump-diagnosis",
+        metavar="PATH",
+        default=None,
+        help="write the structured hang diagnosis (JSON) here on a watchdog trip",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.iters < 1:
@@ -663,6 +804,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--max-jitter must be non-negative")
     if args.seed < 0:
         parser.error("--seed must be non-negative")
+    if args.max_wall_seconds is not None and args.max_wall_seconds <= 0:
+        parser.error("--max-wall-seconds must be positive")
 
     protocols = PROTOCOLS if args.protocol == "all" else (args.protocol,)
     models = MODELS if args.model == "all" else (args.model,)
@@ -675,15 +818,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_jitter=args.max_jitter,
         inject=args.inject,
         do_shrink=not args.no_shrink,
+        faults=args.faults,
+        max_wall_seconds=args.max_wall_seconds,
         verbose=args.verbose,
         log=lambda s: print(s, file=sys.stderr),
     )
     dt = time.time() - t0
     if report.ok:
         combos = sum(1 for c, n in report.runs_by_combo.items() if n > 0)
+        cut = " (wall-clock budget spent)" if report.stopped_by_wall_clock else ""
         print(
             f"fuzz OK: {report.iterations} iteration(s) across {combos} "
-            f"protocol×model combination(s) in {dt:.1f}s (seed {args.seed})"
+            f"protocol×model combination(s) in {dt:.1f}s (seed {args.seed}){cut}"
         )
         return 0
     print(
@@ -691,6 +837,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"({report.protocol}×{report.model}, seed {report.seed}, "
         f"jitter {report.jitter:.2f}): {report.failure}"
     )
+    if report.fault_spec is not None:
+        print(f"fault schedule: {report.fault_spec.describe()}")
+    if report.shrunk_faults is not None:
+        print(f"shrunk fault schedule: {report.shrunk_faults.describe()}")
+    if report.diagnosis is not None:
+        print(report.diagnosis.format())
+        if args.dump_diagnosis:
+            with open(args.dump_diagnosis, "w") as fh:
+                json.dump(report.diagnosis.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"diagnosis written to {args.dump_diagnosis}")
     if report.shrunk_program is not None:
         print(
             f"minimal reproducer: {report.shrunk_program.size()} operation(s), "

@@ -1,0 +1,88 @@
+"""Exit-code contract of ``python -m repro.verify.fuzz``.
+
+CI keys off these codes, so they are pinned: 0 = budget exhausted with no
+failure, 1 = a (shrunk) failure was found, 2 = bad command line.  The
+``--faults`` and ``--max-wall-seconds`` flags ride the same contract.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.verify import fuzz as fuzz_mod
+
+ENV_CMD = [sys.executable, "-m", "repro.verify.fuzz"]
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _run(args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        ENV_CMD + args, capture_output=True, text=True, timeout=300, env=env, cwd=_ROOT
+    )
+
+
+def test_exit_0_on_clean_budget():
+    proc = _run(["--seed", "0", "--iters", "4"])
+    assert proc.returncode == 0, proc.stderr
+    assert "fuzz OK" in proc.stdout
+
+
+def test_exit_0_with_faults_enabled():
+    proc = _run(["--seed", "0", "--iters", "6", "--faults", "--max-wall-seconds", "120"])
+    assert proc.returncode == 0, proc.stderr
+    assert "fuzz OK" in proc.stdout
+
+
+def test_exit_1_on_detected_failure():
+    """A deliberately broken consistency model guarantees a failure."""
+    proc = _run(
+        [
+            "--seed", "2", "--iters", "40", "--protocol", "primitives",
+            "--inject", "bc-no-release-fence", "--no-shrink",
+        ]
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "FAILED" in proc.stdout
+
+
+def test_exit_2_on_bad_arguments():
+    assert _run(["--iters", "0"]).returncode == 2
+    assert _run(["--iters", "notanumber"]).returncode == 2
+    assert _run(["--max-wall-seconds", "0"]).returncode == 2
+    assert _run(["--no-such-flag"]).returncode == 2
+
+
+def test_main_in_process_matches_subprocess_contract():
+    """main() returns the code (argparse errors raise SystemExit(2))."""
+    assert fuzz_mod.main(["--seed", "0", "--iters", "2"]) == 0
+    with pytest.raises(SystemExit) as exc_info:
+        fuzz_mod.main(["--iters", "0"])
+    assert exc_info.value.code == 2
+
+
+def test_dump_diagnosis_written_on_hang(tmp_path, monkeypatch):
+    """A watchdog trip surfaces through --dump-diagnosis as JSON."""
+    from repro.faults.diagnosis import HangDiagnosis
+
+    diag = HangDiagnosis(reason="quiescent", time=123.0, protocol="wbi", blame={"node 1 waiting"})
+
+    def fake_run_program(program, **kwargs):
+        on_hang = kwargs.get("on_hang")
+        if on_hang is not None:
+            on_hang(diag)
+        return "hang diagnosed: injected [node 1 waiting]"
+
+    monkeypatch.setattr(fuzz_mod, "run_program", fake_run_program)
+    out = tmp_path / "diag.json"
+    code = fuzz_mod.main(
+        ["--seed", "0", "--iters", "1", "--faults", "--no-shrink", "--dump-diagnosis", str(out)]
+    )
+    assert code == 1
+    payload = json.loads(out.read_text())
+    assert payload["reason"] == "quiescent"
+    assert payload["blame"] == ["node 1 waiting"]

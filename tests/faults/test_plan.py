@@ -1,0 +1,112 @@
+"""Unit tests for the fault schedule (`FaultSpec` / `FaultPlan`)."""
+
+import random
+
+import pytest
+
+from repro.faults.plan import DEFAULT_RESILIENCE, FaultPlan, FaultSpec, ResilienceParams
+from repro.network.message import Message, MessageType
+
+
+def test_null_spec_is_null():
+    assert FaultSpec().is_null
+    assert not FaultSpec(drop_prob=0.01).is_null
+    assert not FaultSpec(link_down=((0, 1, 10.0, 20.0),)).is_null
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(drop_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(dup_prob=-0.1)
+    with pytest.raises(ValueError):
+        FaultSpec(spike_cycles=-1)
+    with pytest.raises(ValueError):
+        FaultSpec(link_down=((0, 1, 50.0, 20.0),))
+    with pytest.raises(ValueError):
+        FaultSpec(node_down=((0, 50.0, 20.0),))
+
+
+def test_with_seed_changes_only_the_seed():
+    spec = FaultSpec(drop_prob=0.05, dup_prob=0.01, seed=1)
+    other = spec.with_seed(99)
+    assert other.seed == 99
+    assert other.drop_prob == spec.drop_prob
+    assert other.dup_prob == spec.dup_prob
+
+
+def test_draw_is_deterministic():
+    a = FaultSpec.draw(random.Random(42), seed=7, n_nodes=8)
+    b = FaultSpec.draw(random.Random(42), seed=7, n_nodes=8)
+    assert a == b
+    c = FaultSpec.draw(random.Random(43), seed=7, n_nodes=8)
+    d = FaultSpec.draw(random.Random(44), seed=7, n_nodes=8)
+    # Not all draws are identical (different rngs explore the space).
+    assert len({a, c, d}) > 1
+
+
+def test_describe_mentions_active_classes():
+    text = FaultSpec(drop_prob=0.05, link_down=((0, 1, 10.0, 20.0),)).describe()
+    assert "drop" in text
+    assert "link" in text
+
+
+def _pump(plan, n=500):
+    """Drive the plan's stochastic hooks; returns the decision trace."""
+    trace = []
+    msg = Message(1, 2, MessageType.READ_MISS)
+    for i in range(n):
+        trace.append(plan.dispatch_action(msg, now=float(i)))
+        trace.append(plan.extra_delay())
+        trace.append(plan.send_outage(0, 1, now=float(i)))
+    return trace
+
+
+def test_plan_same_seed_same_schedule():
+    spec = FaultSpec(drop_prob=0.05, dup_prob=0.02, spike_prob=0.02, seed=3)
+    assert _pump(FaultPlan(spec)) == _pump(FaultPlan(spec))
+
+
+def test_plan_different_seed_different_schedule():
+    spec = FaultSpec(drop_prob=0.05, dup_prob=0.02, spike_prob=0.02, seed=3)
+    assert _pump(FaultPlan(spec)) != _pump(FaultPlan(spec.with_seed(4)))
+
+
+def test_link_down_window_drops_only_inside_window():
+    spec = FaultSpec(link_down=((0, 1, 100.0, 200.0),))
+    plan = FaultPlan(spec)
+    assert not plan.send_outage(0, 1, now=50.0)
+    assert plan.send_outage(0, 1, now=150.0)
+    assert not plan.send_outage(0, 1, now=250.0)
+    # Other links are unaffected.
+    assert not plan.send_outage(1, 0, now=150.0)
+
+
+def test_node_down_window_kills_both_directions():
+    spec = FaultSpec(node_down=((2, 100.0, 200.0),))
+    plan = FaultPlan(spec)
+    assert plan.send_outage(2, 5, now=150.0)
+    assert plan.send_outage(5, 2, now=150.0)
+    assert not plan.send_outage(3, 4, now=150.0)
+    assert not plan.send_outage(2, 5, now=50.0)
+
+
+def test_counters_track_each_class():
+    spec = FaultSpec(drop_prob=0.2, dup_prob=0.2, spike_prob=0.2, seed=11)
+    plan = FaultPlan(spec)
+    _pump(plan, n=300)
+    counters = plan.counters()
+    assert counters["fault.drops"] > 0
+    assert counters["fault.dups"] > 0
+    assert counters["fault.spikes"] > 0
+    assert plan.total_lost >= counters["fault.drops"]
+
+
+def test_resilience_backoff_caps():
+    res = ResilienceParams(request_timeout=400, backoff=2.0, max_timeout=3200)
+    waits = [res.timeout_for(a) for a in range(6)]
+    assert waits[0] == 400
+    assert waits[1] == 800
+    assert max(waits) == 3200
+    assert waits == sorted(waits)
+    assert DEFAULT_RESILIENCE.timeout_for(0) == 400
