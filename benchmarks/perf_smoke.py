@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Perf smoke: wall-clock throughput of the three protocols on omega.
+
+Times one small lock-free workload (shared writes, neighbour reads, an
+atomic counter, a hardware barrier per round) on each data protocol and
+writes machine-readable timings to ``BENCH_PR3.json``.  Also reports —
+informationally, never as a gate — the overhead of running the same
+workload with the trace bus enabled, so a tracing-cost regression shows
+up in the CI artifact history.
+
+Run:  python benchmarks/perf_smoke.py [--out BENCH_PR3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import HWBarrier, Machine, MachineConfig, ObsParams  # noqa: E402
+
+N_NODES = 8
+ROUNDS = 12
+REPEATS = 3
+PROTOCOLS = ("wbi", "primitives", "writeupdate")
+
+
+def run_once(protocol: str, obs: ObsParams | None = None):
+    """One run; returns (completion_cycles, wall_seconds, sim_events)."""
+    cfg = MachineConfig(n_nodes=N_NODES, seed=5, network="omega", obs=obs)
+    machine = Machine(cfg, protocol=protocol)
+    bar = HWBarrier(machine, n=N_NODES)
+    slots = [machine.alloc_word() for _ in range(N_NODES)]
+    ctr = machine.alloc_word()
+
+    def worker(proc, t):
+        for r in range(ROUNDS):
+            yield from proc.compute(10)
+            yield from proc.shared_write(slots[t], r + 1)
+            yield from proc.shared_read(slots[(t + 1) % N_NODES])
+            yield from proc.rmw(ctr, "fetch_add", 1)
+            yield from proc.barrier(bar)
+
+    for t in range(N_NODES):
+        proc = machine.processor(t, consistency="sc")
+        machine.spawn(worker(proc, t), name=f"smoke-{t}")
+    t0 = time.perf_counter()
+    machine.run_all()
+    wall = time.perf_counter() - t0
+    return machine.metrics().completion_time, wall, machine.sim.events_processed
+
+
+def measure(protocol: str, obs: ObsParams | None = None) -> dict:
+    """Best-of-REPEATS timing for one configuration."""
+    best = None
+    for _ in range(REPEATS):
+        cycles, wall, events = run_once(protocol, obs=obs)
+        if best is None or wall < best[1]:
+            best = (cycles, wall, events)
+    cycles, wall, events = best
+    return {
+        "bench": protocol + ("+trace" if obs is not None else ""),
+        "cycles": cycles,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_PR3.json", help="output JSON path")
+    args = ap.parse_args(argv)
+
+    entries = [measure(p) for p in PROTOCOLS]
+    traced = [measure(p, obs=ObsParams()) for p in PROTOCOLS]
+    entries += traced
+
+    rows = {e["bench"]: e for e in entries}
+    print(f"{'bench':<20} {'cycles':>10} {'wall_s':>9} {'events/s':>12}")
+    for e in entries:
+        print(
+            f"{e['bench']:<20} {e['cycles']:>10.0f} {e['wall_seconds']:>9.4f} "
+            f"{e['events_per_sec']:>12.0f}"
+        )
+    for p in PROTOCOLS:
+        base, tr = rows[p], rows[p + "+trace"]
+        if base["wall_seconds"] > 0:
+            ratio = tr["wall_seconds"] / base["wall_seconds"]
+            print(f"tracing overhead on {p}: {100 * (ratio - 1):+.1f}% wall-clock")
+
+    with open(args.out, "w") as fh:
+        json.dump(entries, fh, indent=2)
+    print(f"wrote {args.out} ({len(entries)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

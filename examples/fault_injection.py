@@ -17,7 +17,9 @@ then meet at a hardware barrier):
 Run:  python examples/fault_injection.py
 """
 
-from repro import CBLLock, HWBarrier, Machine, MachineConfig
+import json
+
+from repro import CBLLock, HWBarrier, Machine, MachineConfig, RunMetrics
 from repro.faults.plan import FaultSpec, ResilienceParams
 from repro.sim.watchdog import HangError
 
@@ -59,13 +61,20 @@ def build(cfg, faults=None):
 
 def report(tag, machine, counter):
     m = machine.metrics()
+    # The metrics document round-trips through JSON (RunMetrics.to_json /
+    # from_json) — what a CI artifact or a results database would store.
+    doc = m.to_json()
+    assert RunMetrics.from_json(json.loads(json.dumps(doc))) == m  # lossless
     print(f"--- {tag}")
     print(f"final counter   : {machine.peek_memory(counter)} (expected {N_WORKERS * ROUNDS})")
-    print(f"completion time : {m.completion_time:.0f} cycles")
-    print(f"messages        : {m.messages}")
-    print(f"retries         : {m.retries} (over {m.timeouts} timeouts, {m.timeout_cycles} cycles spent waiting)")
-    if m.faults:
-        print(f"fabric faults   : {m.faults}")
+    print(f"completion time : {doc['completion_time']:.0f} cycles")
+    print(f"messages        : {doc['messages']}")
+    print(
+        f"retries         : {doc['retries']} (over {doc['timeouts']} timeouts, "
+        f"{doc['timeout_cycles']} cycles spent waiting)"
+    )
+    if doc["faults"]:
+        print(f"fabric faults   : {doc['faults']}")
     print()
     return m
 

@@ -6,14 +6,27 @@ Eight processors increment a lock-protected counter under buffered
 consistency.  The lock's grant carries the counter's cache line, so the
 critical section runs entirely out of the lock cache.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace run.trace]
+
+With ``--trace`` the run records a structured trace; convert it for the
+Perfetto UI with ``python -m repro.obs.export --chrome run.trace``.
 """
 
-from repro import CBLLock, Machine, MachineConfig
+import argparse
+
+from repro import CBLLock, Machine, MachineConfig, ObsParams
 
 
-def main() -> None:
-    cfg = MachineConfig(n_nodes=8, seed=42)
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", metavar="PATH", default=None,
+                    help="record a trace and write it (JSONL) to PATH")
+    opts = ap.parse_args(argv)
+
+    cfg = MachineConfig(
+        n_nodes=8, seed=42,
+        obs=ObsParams() if opts.trace else None,
+    )
     machine = Machine(cfg, protocol="primitives")
     lock = CBLLock(machine)
     counter_addr = machine.amap.word_addr(lock.block, 0)
@@ -41,6 +54,9 @@ def main() -> None:
     print("messages by type   :")
     for mtype, count in sorted(metrics.msg_by_type.items(), key=lambda kv: -kv[1]):
         print(f"  {mtype:<18} {count}")
+    if opts.trace:
+        n = machine.dump_trace(opts.trace)
+        print(f"trace              : {n} events -> {opts.trace}")
     assert machine.peek_memory(counter_addr) == 32
 
 

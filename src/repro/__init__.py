@@ -26,6 +26,12 @@ Quick start::
 """
 
 from .consistency import get_model
+
+# Import order matters: repro.obs.metrics pulls RunMetrics from
+# repro.system, so .system must initialize first (machine's own imports of
+# repro.obs resolve fine mid-initialization; the reverse order does not).
+from .system import Machine, MachineConfig, RunMetrics
+from .obs import ObsParams, PhaseMetrics
 from .sync import (
     CBLLock,
     HWBarrier,
@@ -37,11 +43,12 @@ from .sync import (
     TTSBackoffLock,
     TTSLock,
 )
-from .system import Machine, MachineConfig, RunMetrics
 
 __all__ = [
     "Machine",
     "MachineConfig",
+    "ObsParams",
+    "PhaseMetrics",
     "RunMetrics",
     "CBLLock",
     "HWBarrier",

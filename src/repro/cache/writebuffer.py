@@ -41,6 +41,8 @@ class WriteBuffer:
         capacity: Optional[int] = None,
         resilience: Optional["ResilienceParams"] = None,
         retry_counters=None,
+        obs=None,
+        owner: int = 0,
     ):
         """``issue(word_addr, value, entry_id)`` sends the write toward its
         home and returns immediately; the caller must call :meth:`retire`
@@ -71,6 +73,9 @@ class WriteBuffer:
         self._space_waiters: list[tuple[Event, int, int]] = []
         self.stats = StatSet()
         self.occupancy = TimeWeighted()
+        #: Trace bus or ``None``; ``owner`` is the hosting node id (tid).
+        self.obs = obs
+        self.owner = owner
 
     # -- state ----------------------------------------------------------
     @property
@@ -90,6 +95,10 @@ class WriteBuffer:
         ev = Event(self.sim, name="wb.put")
         if self.is_full:
             self._space_waiters.append((ev, word_addr, value))
+            if self.obs is not None:
+                self.obs.instant(
+                    "wb.stall", "wb", self.owner, args={"addr": word_addr}
+                )
         else:
             self._accept(word_addr, value)
             ev.succeed()
@@ -101,6 +110,10 @@ class WriteBuffer:
         self._pending[entry_id] = (word_addr, value)
         self.stats.counters.add("writes")
         self.occupancy.set(self.sim.now, self.pending_count)
+        if self.obs is not None:
+            self.obs.counter(
+                "wb.occupancy", "wb", self.owner, {"pending": self.pending_count}
+            )
         chain = self._addr_chains.setdefault(word_addr, [])
         chain.append(entry_id)
         if len(chain) == 1:
@@ -157,6 +170,10 @@ class WriteBuffer:
             del self._addr_chains[word_addr]
         self.stats.counters.add("retired")
         self.occupancy.set(self.sim.now, self.pending_count)
+        if self.obs is not None:
+            self.obs.counter(
+                "wb.occupancy", "wb", self.owner, {"pending": self.pending_count}
+            )
         if self._space_waiters and not self.is_full:
             # Accept synchronously so a concurrent flush sees the write as
             # pending before the waiter's event fires.

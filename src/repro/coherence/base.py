@@ -60,6 +60,9 @@ class Controller:
         self.cfg = node.cfg
         self.amap = node.amap
         self.stats = node.stats
+        #: Trace bus or ``None`` — the machine installs ``node.obs`` before
+        #: constructing controllers, so caching here is safe.
+        self.obs = node.obs
 
     # -- messaging ----------------------------------------------------------
     def send(self, dst: int, mtype: MessageType, addr: int = -1, **info: Any) -> None:
@@ -120,11 +123,25 @@ class Controller:
                 return val
             self.stats.counters.add("resilience.timeouts")
             self.stats.counters.add("resilience.timeout_cycles", int(res.timeout_for(attempt)))
+            if self.obs is not None:
+                self.obs.instant(
+                    "timeout",
+                    "resilience",
+                    self.node.node_id,
+                    args={"key": str(key), "rseq": rseq, "attempt": attempt},
+                )
             if res.max_retries is not None and attempt >= res.max_retries:
                 val = yield ev
                 return val
             attempt += 1
             self.stats.counters.add("resilience.retries")
+            if self.obs is not None:
+                self.obs.instant(
+                    "retry",
+                    "resilience",
+                    self.node.node_id,
+                    args={"key": str(key), "rseq": rseq, "attempt": attempt},
+                )
             send_req(rseq)
 
     def await_acks(self, coll: "SourceAckCollector", resend=None):
@@ -152,6 +169,13 @@ class Controller:
                 return
             attempt += 1
             self.stats.counters.add("resilience.retries")
+            if self.obs is not None:
+                self.obs.instant(
+                    "reprobe",
+                    "resilience",
+                    self.node.node_id,
+                    args={"waiting": sorted(coll.waiting), "attempt": attempt},
+                )
             resend(set(coll.waiting))
 
     def rseq_or_none(self):

@@ -98,12 +98,17 @@ class PrimitivesCacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
+        t0 = self.sim.now
         value = yield from self.request(
             ("c:rg", word_addr),
             lambda rseq: self.send(
                 home, MessageType.READ_GLOBAL, addr=block, word=word_addr, rseq=rseq
             ),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:prim.read_global", "coh", self.node.node_id, t0, args={"word": word_addr}
+            )
         return value
 
     def write_global(self, word_addr: int, value: int):
@@ -123,7 +128,10 @@ class PrimitivesCacheController(Controller):
     def flush_buffer(self):
         """FLUSH-BUFFER: stall until all buffered global writes are performed."""
         self.stats.counters.add("prim.flushes")
+        t0 = self.sim.now
         yield self.node.write_buffer.flush()
+        if self.obs is not None:
+            self.obs.span("flush_buffer", "wb", self.node.node_id, t0)
 
     def read_update(self, word_addr: int):
         """READ-UPDATE: read and subscribe to future updates of the block."""
@@ -135,6 +143,7 @@ class PrimitivesCacheController(Controller):
             self.stats.counters.add("prim.ru_hits")
             return line.read_word(offset)
         self.stats.counters.add("prim.ru_subscribes")
+        t0 = self.sim.now
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
         # The RU_DATA handler installs the subscription line synchronously at
@@ -143,6 +152,10 @@ class PrimitivesCacheController(Controller):
             ("c:rudata", block),
             lambda rseq: self.send(home, MessageType.RU_REQ, addr=block, rseq=rseq),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:prim.read_update", "coh", self.node.node_id, t0, args={"block": block}
+            )
         if old_head is not None:
             # Thread ourselves before the old head of the subscriber list.
             self.send(old_head, MessageType.RU_UNLINK, addr=block, set_prev=self.node.node_id)
@@ -163,12 +176,17 @@ class PrimitivesCacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
+        t0 = self.sim.now
         old = yield from self.request(
             ("c:rmw", word_addr),
             lambda rseq: self.send(
                 home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand, rseq=rseq
             ),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:prim.rmw", "coh", self.node.node_id, t0, args={"word": word_addr, "op": op}
+            )
         return old
 
     def watch_update(self, block: int) -> Event:
@@ -182,6 +200,7 @@ class PrimitivesCacheController(Controller):
 
     # ================= internals ==========================================
     def _fetch_block(self, block: int):
+        t0 = self.sim.now
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
         words = yield from self.request(
@@ -189,6 +208,10 @@ class PrimitivesCacheController(Controller):
             lambda rseq: self.send(home, MessageType.READ_MISS, addr=block, rseq=rseq),
         )
         line, _ = self.node.cache.install(block, words, LineState.VALID_LOCAL, now=self.sim.now)
+        if self.obs is not None:
+            self.obs.span(
+                "miss:prim.fetch", "coh", self.node.node_id, t0, args={"block": block}
+            )
         return line
 
     def _evict_for(self, block: int):

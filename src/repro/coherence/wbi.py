@@ -94,6 +94,7 @@ class WBICacheController(Controller):
             self.stats.counters.add("wbi.read_hits")
             return line.read_word(offset)
         self.stats.counters.add("wbi.read_misses")
+        t0 = self.sim.now
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
         self._mshr[block] = None
@@ -101,6 +102,11 @@ class WBICacheController(Controller):
             ("c:data", block),
             lambda rseq: self.send(home, MessageType.READ_MISS, addr=block, rseq=rseq),
         )
+        if self.obs is not None:
+            # Miss lifecycle: issue -> directory transaction -> fill.
+            self.obs.span(
+                "miss:wbi.read", "coh", self.node.node_id, t0, args={"block": block}
+            )
         # The handler already installed (and a probe may since have taken)
         # the line; the reply snapshot is the coherent value at serialization.
         return words[offset]
@@ -117,6 +123,7 @@ class WBICacheController(Controller):
             line.write_word(offset, value)
             return
         home = self.amap.home_of(block)
+        t0 = self.sim.now
         if line is not None and line.state is LineState.SHARED:
             self.stats.counters.add("wbi.upgrades")
             self._mshr[block] = (offset, value)
@@ -124,6 +131,10 @@ class WBICacheController(Controller):
                 ("c:excl", block),
                 lambda rseq: self.send(home, MessageType.UPGRADE, addr=block, rseq=rseq),
             )
+            if self.obs is not None:
+                self.obs.span(
+                    "miss:wbi.upgrade", "coh", self.node.node_id, t0, args={"block": block}
+                )
             return
         self.stats.counters.add("wbi.write_misses")
         yield from self._evict_for(block)
@@ -132,6 +143,10 @@ class WBICacheController(Controller):
             ("c:excl", block),
             lambda rseq: self.send(home, MessageType.WRITE_MISS, addr=block, rseq=rseq),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:wbi.write", "coh", self.node.node_id, t0, args={"block": block}
+            )
 
     def rmw(self, word_addr: int, op: str, operand=None):
         """Atomic read-modify-write at the home memory; returns the old value."""
@@ -139,12 +154,17 @@ class WBICacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
+        t0 = self.sim.now
         old = yield from self.request(
             ("c:rmw", word_addr),
             lambda rseq: self.send(
                 home, MessageType.RMW_REQ, addr=block, word=word_addr, op=op, operand=operand, rseq=rseq
             ),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:wbi.rmw", "coh", self.node.node_id, t0, args={"word": word_addr, "op": op}
+            )
         return old
 
     def watch_invalidation(self, block: int) -> Event:

@@ -78,6 +78,7 @@ class WUCacheController(Controller):
             self.stats.counters.add("wu.read_hits")
             return line.read_word(offset)
         self.stats.counters.add("wu.read_misses")
+        t0 = self.sim.now
         yield from self._evict_for(block)
         home = self.amap.home_of(block)
         # The DATA_BLOCK handler installs the line synchronously at delivery:
@@ -88,6 +89,10 @@ class WUCacheController(Controller):
             ("c:data", block),
             lambda rseq: self.send(home, MessageType.READ_MISS, addr=block, rseq=rseq),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:wu.read", "coh", self.node.node_id, t0, args={"block": block}
+            )
         return words[offset]
 
     def write(self, word_addr: int, value: int):
@@ -100,12 +105,17 @@ class WUCacheController(Controller):
         if line is not None:
             line.write_word(offset, value, dirty=False)  # write-through: clean
         home = self.amap.home_of(block)
+        t0 = self.sim.now
         yield from self.request(
             ("c:wuack", word_addr),
             lambda rseq: self.send(
                 home, MessageType.WU_WRITE, addr=block, word=word_addr, value=value, rseq=rseq
             ),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:wu.write", "coh", self.node.node_id, t0, args={"word": word_addr}
+            )
 
     def rmw(self, word_addr: int, op: str, operand=None):
         """Atomic at home; the new value is pushed to sharers like a write."""
@@ -113,6 +123,7 @@ class WUCacheController(Controller):
         block = self.amap.block_of(word_addr)
         home = self.amap.home_of(block)
         yield self.sim.timeout(self.cfg.cache_cycle)
+        t0 = self.sim.now
         old = yield from self.request(
             ("c:rmw", word_addr),
             lambda rseq: self.send(
@@ -120,6 +131,10 @@ class WUCacheController(Controller):
                 operand=operand, rseq=rseq,
             ),
         )
+        if self.obs is not None:
+            self.obs.span(
+                "miss:wu.rmw", "coh", self.node.node_id, t0, args={"word": word_addr, "op": op}
+            )
         return old
 
     def watch_invalidation(self, block: int) -> Event:

@@ -54,6 +54,9 @@ class HangDiagnosis:
     retries: int = 0
     timeouts: int = 0
     blame: Set[str] = field(default_factory=set)
+    #: Last trace events touching the blamed nodes/blocks (whole recent
+    #: tail if nothing matches); empty when the trace bus was disabled.
+    trace_tail: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-serializable form (CI uploads this as an artifact)."""
@@ -75,6 +78,7 @@ class HangDiagnosis:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "blame": sorted(self.blame),
+            "trace_tail": [dict(ev) for ev in self.trace_tail],
         }
 
     def format(self) -> str:
@@ -110,6 +114,13 @@ class HangDiagnosis:
         if self.dropped:
             lines.append("  dropped messages (tail):")
             lines.extend(f"    {d}" for d in self.dropped[-16:])
+        if self.trace_tail:
+            lines.append("  trace tail:")
+            for ev in self.trace_tail[-16:]:
+                lines.append(
+                    f"    t={ev.get('ts')} [{ev.get('cat')}] {ev.get('name')}"
+                    f" tid={ev.get('tid')} args={ev.get('args', {})}"
+                )
         return "\n".join(lines)
 
 
@@ -169,4 +180,23 @@ def diagnose_machine(machine: "Machine", reason: str) -> HangDiagnosis:
             counters[k] = counters.get(k, 0) + v
     d.retries = counters.get("resilience.retries", 0)
     d.timeouts = counters.get("resilience.timeouts", 0)
+    obs = machine.obs
+    if obs is not None:
+        tail = obs.tail_events()
+        blamed_nodes = (
+            set(d.pending_replies) | set(d.mshrs) | set(d.write_buffers)
+        )
+        blamed_blocks = (
+            set(d.busy_blocks) | set(d.lock_queues)
+            | set(d.sem_waiters) | set(d.barrier_waiting)
+        )
+
+        def _touches(ev: dict) -> bool:
+            if ev.get("tid") in blamed_nodes:
+                return True
+            args = ev.get("args") or {}
+            return args.get("block") in blamed_blocks
+
+        picked = [ev for ev in tail if _touches(ev)]
+        d.trace_tail = picked or tail
     return d

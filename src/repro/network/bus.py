@@ -31,6 +31,14 @@ class BusNetwork(Interconnect):
         depart = start + service
         self._busy_until = depart
         self._busy_time += service
+        if self.obs is not None:
+            self.obs.instant(
+                "route:bus",
+                "net",
+                msg.src,
+                args={"queued": start - self.sim.now, "service": service},
+                id=msg.msg_id,
+            )
         self._deliver_after(msg, depart - self.sim.now)
 
     def utilization(self) -> float:

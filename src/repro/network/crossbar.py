@@ -28,4 +28,12 @@ class CrossbarNetwork(Interconnect):
         self.stats.observe("queueing", start - self.sim.now)
         depart = start + service
         self._busy_until[msg.dst] = depart
+        if self.obs is not None:
+            self.obs.instant(
+                "route:crossbar",
+                "net",
+                msg.src,
+                args={"queued": start - self.sim.now, "service": service},
+                id=msg.msg_id,
+            )
         self._deliver_after(msg, depart - self.sim.now)

@@ -69,6 +69,14 @@ class MeshNetwork(Interconnect):
             t = depart
         self.stats.observe("queueing", queued)
         self.stats.counters.add("hops", len(links))
+        if self.obs is not None:
+            self.obs.instant(
+                "route:mesh",
+                "net",
+                msg.src,
+                args={"hops": len(links), "queued": queued, "transit": t - self.sim.now},
+                id=msg.msg_id,
+            )
         self._deliver_after(msg, t - self.sim.now)
 
     def hop_count(self, src: int, dst: int) -> int:

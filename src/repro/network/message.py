@@ -187,6 +187,11 @@ class Message:
     #: Per-(src, dst) send sequence, assigned by the interconnect; delivery
     #: is FIFO per channel (see Interconnect._on_arrival).
     chan_seq: int = -1
+    #: Causal lineage (tracing only): the msg_id of the message whose
+    #: handler sent this one, or -1.  Stamped by the interconnect while a
+    #: trace bus is installed; best-effort — lineage does not survive into
+    #: home-side transactions that continue in a spawned process.
+    parent_id: int = -1
 
     @property
     def size_class(self) -> SizeClass:

@@ -61,6 +61,14 @@ class OmegaNetwork(Interconnect):
             t = depart
         self.stats.observe("queueing", queued)
         self.stats.counters.add("stage_traversals", self.stages)
+        if self.obs is not None:
+            self.obs.instant(
+                "route:omega",
+                "net",
+                msg.src,
+                args={"stages": self.stages, "queued": queued, "transit": t - self.sim.now},
+                id=msg.msg_id,
+            )
         self._deliver_after(msg, t - self.sim.now)
 
     # -- reporting ----------------------------------------------------------
@@ -118,6 +126,14 @@ class BufferedOmegaNetwork(Interconnect):
             msg, wires, flits = yield store.get()
             # Occupy this wire for the store-and-forward service time.
             yield sim.timeout(self.params.switch_cycle * flits)
+            if self.obs is not None:
+                self.obs.instant(
+                    "hop:omega-buffered",
+                    "net",
+                    msg.src,
+                    args={"stage": stage, "wire": wire},
+                    id=msg.msg_id,
+                )
             next_stage = stage + 1
             if next_stage >= self.stages:
                 self.stats.counters.add("stage_traversals", self.stages)

@@ -96,6 +96,14 @@ class Interconnect(ABC):
         self._chan_held: Dict[tuple, Dict[int, Message]] = {}
         #: Optional fault injector; ``None`` = the paper's reliable fabric.
         self.fault_plan: Optional["FaultPlan"] = None
+        #: Trace bus (:class:`repro.obs.bus.TraceBus`) or ``None``; the
+        #: machine installs it after construction.
+        self.obs = None
+        #: msg_id of the message currently being handled on some node (set
+        #: by :meth:`repro.node.node.Node.deliver` while tracing): sends
+        #: triggered synchronously from a handler inherit it as their
+        #: causal parent.
+        self._cause: int = -1
         self.stats = StatSet()
 
     def set_fault_plan(self, plan: Optional["FaultPlan"]) -> None:
@@ -142,6 +150,18 @@ class Interconnect(ABC):
         self.stats.counters.add("messages")
         self.stats.counters.add(f"msg.{msg.mtype.name}")
         self.stats.counters.add("flits", flits)
+        obs = self.obs
+        if obs is not None:
+            if msg.parent_id < 0:
+                msg.parent_id = self._cause
+            obs.instant(
+                f"send:{msg.mtype.name}",
+                "net",
+                msg.src,
+                args={"dst": msg.dst, "flits": flits, "seq": msg.chan_seq},
+                id=msg.msg_id,
+                parent=msg.parent_id,
+            )
         if msg.src == msg.dst:
             self.stats.counters.add("local_messages")
             self._deliver_after(msg, self.params.local_delivery)
@@ -171,6 +191,14 @@ class Interconnect(ABC):
             # hold until the channel's FIFO order catches up.
             self._chan_held.setdefault(chan, {})[msg.chan_seq] = msg
             self.stats.counters.add("fifo_holds")
+            if self.obs is not None:
+                self.obs.instant(
+                    f"fifo_hold:{msg.mtype.name}",
+                    "net",
+                    msg.dst,
+                    args={"seq": msg.chan_seq, "expected": expected},
+                    id=msg.msg_id,
+                )
             return
         self._chan_deliver_seq[chan] = expected + 1
         self._dispatch(msg)
@@ -190,9 +218,17 @@ class Interconnect(ABC):
             action = self.fault_plan.dispatch_action(msg, self.sim.now)
             if action == "drop":
                 self.stats.counters.add("fault.drops")
+                if self.obs is not None:
+                    self.obs.instant(
+                        f"fault.drop:{msg.mtype.name}", "net", msg.dst, id=msg.msg_id
+                    )
                 return
             if action == "dup":
                 self.stats.counters.add("fault.dups")
+                if self.obs is not None:
+                    self.obs.instant(
+                        f"fault.dup:{msg.mtype.name}", "net", msg.dst, id=msg.msg_id
+                    )
                 self._handle(msg)
                 self._handle(msg)
                 return
@@ -200,6 +236,10 @@ class Interconnect(ABC):
                 # Late re-delivery straight to the handler, bypassing the
                 # FIFO resequencer: same-channel successors may overtake.
                 self.stats.counters.add("fault.reorders")
+                if self.obs is not None:
+                    self.obs.instant(
+                        f"fault.reorder:{msg.mtype.name}", "net", msg.dst, id=msg.msg_id
+                    )
                 ev = self.sim.timeout(self.fault_plan.reorder_delay(), value=msg)
                 ev.callbacks.append(lambda e: self._handle(e.value))
                 return
@@ -207,6 +247,21 @@ class Interconnect(ABC):
 
     def _handle(self, msg: Message) -> None:
         self.stats.observe("latency", self.sim.now - msg.send_time)
+        obs = self.obs
+        if obs is not None:
+            # One span per delivered message: send_time -> now, on the
+            # destination's track.  Together with the send instant this is
+            # the full send->route->deliver->dispatch lineage of the
+            # message (hop detail comes from the topology's route events).
+            obs.span(
+                msg.mtype.name,
+                "net",
+                msg.dst,
+                msg.send_time,
+                args={"src": msg.src, "seq": msg.chan_seq},
+                id=msg.msg_id,
+                parent=msg.parent_id,
+            )
         handler = self._handlers.get(msg.dst)
         if handler is None:
             raise RuntimeError(f"no handler attached for node {msg.dst}")

@@ -63,6 +63,9 @@ class Node:
         #: Write buffer; its issue path is wired by the data protocol
         #: controller (primitives machine) after construction.
         self.write_buffer: WriteBuffer | None = None
+        #: Trace bus or ``None``; the machine installs it before the
+        #: controllers are constructed so they can cache the reference.
+        self.obs = None
         net.attach(node_id, self.deliver)
 
     def next_rseq(self) -> int:
@@ -101,4 +104,15 @@ class Node:
             raise RuntimeError(
                 f"node {self.node_id} has no controller for {msg.mtype.name}"
             )
-        ctl.handle(msg)
+        if self.obs is None:
+            ctl.handle(msg)
+            return
+        # Tracing: messages sent while this handler runs record this
+        # message as their causal parent (network lineage).
+        net = self.net
+        prev = net._cause
+        net._cause = msg.msg_id
+        try:
+            ctl.handle(msg)
+        finally:
+            net._cause = prev

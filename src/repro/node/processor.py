@@ -36,6 +36,8 @@ class Processor:
         self.sim = machine.sim
         self.model = get_model(consistency) if isinstance(consistency, str) else consistency
         self.stats = StatSet()
+        #: Trace bus or ``None`` (installed machine-wide).
+        self.obs = machine.obs
         machine._processors.append(self)
         #: The data-protocol controller (WBI or primitives).
         self.data = self.node.data_ctl
@@ -138,6 +140,9 @@ class Processor:
         dt = self.sim.now - t0
         self.stats.observe("acquire_latency", dt)
         self.stats.counters.add("sync_cycles", int(dt))
+        if self.obs is not None:
+            # Lock-queue residency: request issued -> grant received.
+            self.obs.span(f"acquire:{type(lock).__name__}", "sync", self.node_id, t0)
 
     def release(self, lock):
         """Release a lock under the consistency model (CP-Synch)."""
@@ -146,6 +151,8 @@ class Processor:
         yield from self.model.pre_release(self)
         yield from lock.release(self, want_ack=self.model.release_wants_ack)
         self.stats.counters.add("sync_cycles", int(self.sim.now - t0))
+        if self.obs is not None:
+            self.obs.span(f"release:{type(lock).__name__}", "sync", self.node_id, t0)
 
     def barrier(self, bar):
         """Barrier synchronization (CP-Synch)."""
@@ -156,3 +163,5 @@ class Processor:
         dt = self.sim.now - t0
         self.stats.observe("barrier_latency", dt)
         self.stats.counters.add("sync_cycles", int(dt))
+        if self.obs is not None:
+            self.obs.span(f"barrier:{type(bar).__name__}", "sync", self.node_id, t0)

@@ -1,0 +1,58 @@
+"""Unified instrumentation: structured tracing and per-phase metrics.
+
+The observability layer has three pieces:
+
+* :class:`TraceBus` (:mod:`repro.obs.bus`) — a zero-cost-when-disabled
+  event bus.  Components cache a reference (``self.obs`` / ``sim._obs``)
+  that is either a bus or ``None``; every hot-path emission site is guarded
+  by a single ``if obs is not None`` so a machine built without
+  ``MachineConfig.obs`` pays one predictable branch, nothing more.
+* :class:`PhaseMetrics` (:mod:`repro.obs.metrics`) — per-phase rollups of
+  the run counters.  Phase accounting is independent of tracing (it is a
+  handful of snapshots per phase boundary, always on), and
+  :class:`~repro.system.metrics.RunMetrics` is a view over its totals.
+* exporters (:mod:`repro.obs.export`) — Chrome-trace/Perfetto JSON, CSV
+  rollups, and a JSON metrics document, with a CLI::
+
+      python -m repro.obs.export --chrome run.trace
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from .bus import TraceBus, TraceEvent
+from .metrics import PhaseMetrics, PhaseStat
+
+__all__ = ["ObsParams", "TraceBus", "TraceEvent", "PhaseMetrics", "PhaseStat"]
+
+
+@dataclass(frozen=True)
+class ObsParams:
+    """Tracing policy.  Attach one to ``MachineConfig.obs`` to enable.
+
+    ``max_events``
+        Hard cap on retained trace events; past it new events only feed the
+        diagnosis tail and the ``dropped`` counter (a trace never exhausts
+        memory on a runaway run).
+    ``tail_events``
+        Ring size of the most-recent-events tail embedded into
+        :class:`~repro.faults.diagnosis.HangDiagnosis`.
+    ``categories``
+        Restrict tracing to these categories (``"kernel"``, ``"net"``,
+        ``"coh"``, ``"sync"``, ``"wb"``, ``"phase"``, ``"resilience"``);
+        ``None`` traces everything.
+    """
+
+    max_events: int = 1_000_000
+    tail_events: int = 64
+    categories: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if self.tail_events <= 0:
+            raise ValueError("tail_events must be positive")
+        if self.categories is not None:
+            object.__setattr__(self, "categories", frozenset(self.categories))

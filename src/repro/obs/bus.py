@@ -1,0 +1,189 @@
+"""The trace bus: typed span/instant/counter events with causal lineage.
+
+Every instrumented component holds either a :class:`TraceBus` or ``None``;
+the contract for hot paths is::
+
+    obs = self.obs
+    if obs is not None:
+        obs.instant("net.send", "net", tid=msg.src, args={...})
+
+so a disabled machine pays exactly one attribute load and one ``is not
+None`` test per site.  The bus itself never touches the simulator calendar
+— emitting an event is an append to a Python list (plus a bounded deque
+for the diagnosis tail).
+
+Event model (three phases, mirroring the Chrome Trace Event Format):
+
+=========  ============================================================
+``"X"``    complete span: ``ts`` is the start, ``dur`` the length
+``"i"``    instant at ``ts``
+``"C"``    counter sample: ``args`` carries the sampled values
+=========  ============================================================
+
+``id``/``parent`` carry causal lineage: network message events use the
+message id, and a message sent while handling another message records the
+handled message's id as its ``parent``.  Lineage is best-effort — home-side
+transactions that continue inside a spawned simulation process lose the
+link at the process boundary — and the exporter turns surviving pairs into
+Chrome flow arrows.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Simulator
+    from . import ObsParams
+
+__all__ = ["TraceBus", "TraceEvent"]
+
+
+class TraceEvent:
+    """One trace record.  Plain slots object: cheap to create, easy to dump."""
+
+    __slots__ = ("ts", "ph", "name", "cat", "tid", "dur", "id", "parent", "args")
+
+    def __init__(
+        self,
+        ts: float,
+        ph: str,
+        name: str,
+        cat: str,
+        tid: int = 0,
+        dur: float = 0.0,
+        id: int = -1,
+        parent: int = -1,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.ts = ts
+        self.ph = ph
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.dur = dur
+        self.id = id
+        self.parent = parent
+        self.args = args
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "ts": self.ts,
+            "ph": self.ph,
+            "name": self.name,
+            "cat": self.cat,
+            "tid": self.tid,
+        }
+        if self.ph == "X":
+            d["dur"] = self.dur
+        if self.id >= 0:
+            d["id"] = self.id
+        if self.parent >= 0:
+            d["parent"] = self.parent
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" dur={self.dur}" if self.ph == "X" else ""
+        return f"<TraceEvent {self.ph} {self.cat}:{self.name} t={self.ts}{extra} tid={self.tid}>"
+
+
+class TraceBus:
+    """Collects :class:`TraceEvent` records for one simulated run."""
+
+    __slots__ = ("sim", "params", "events", "tail", "dropped", "_cats")
+
+    def __init__(self, sim: "Simulator", params: "ObsParams"):
+        self.sim = sim
+        self.params = params
+        self.events: List[TraceEvent] = []
+        #: Most recent events regardless of ``max_events`` — feeds the
+        #: HangDiagnosis trace tail.
+        self.tail: deque = deque(maxlen=params.tail_events)
+        self.dropped = 0
+        self._cats = params.categories  # None = all
+
+    # -- category gating ----------------------------------------------------
+    def enabled_for(self, cat: str) -> bool:
+        return self._cats is None or cat in self._cats
+
+    # -- emitters -----------------------------------------------------------
+    def _emit(self, ev: TraceEvent) -> None:
+        self.tail.append(ev)
+        if len(self.events) >= self.params.max_events:
+            self.dropped += 1
+            return
+        self.events.append(ev)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        tid: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+        id: int = -1,
+        parent: int = -1,
+    ) -> None:
+        """A point event at the current simulated time."""
+        if self._cats is not None and cat not in self._cats:
+            return
+        self._emit(TraceEvent(self.sim.now, "i", name, cat, tid, 0.0, id, parent, args))
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        tid: int,
+        t0: float,
+        args: Optional[Dict[str, Any]] = None,
+        id: int = -1,
+        parent: int = -1,
+    ) -> None:
+        """A complete span from ``t0`` to the current simulated time.
+
+        Emitted at span *end* — generator-based protocol code records
+        ``t0 = sim.now`` on entry and calls this once the transaction
+        resolves, so there is no begin/end pairing state to manage.
+        """
+        if self._cats is not None and cat not in self._cats:
+            return
+        now = self.sim.now
+        self._emit(TraceEvent(t0, "X", name, cat, tid, now - t0, id, parent, args))
+
+    def counter(self, name: str, cat: str, tid: int, values: Dict[str, Any]) -> None:
+        """A counter sample (rendered as a stacked area track in Perfetto)."""
+        if self._cats is not None and cat not in self._cats:
+            return
+        self._emit(TraceEvent(self.sim.now, "C", name, cat, tid, 0.0, -1, -1, values))
+
+    # -- output -------------------------------------------------------------
+    def dump_jsonl(self, path_or_file) -> int:
+        """Write the raw trace as JSON lines; returns the event count.
+
+        This is the on-disk format the ``repro.obs.export`` CLI consumes.
+        A ``meta`` header line records drop counts so a truncated trace is
+        distinguishable from a short run.
+        """
+        own = isinstance(path_or_file, (str, bytes))
+        f: IO[str] = open(path_or_file, "w") if own else path_or_file
+        try:
+            meta = {
+                "kind": "meta",
+                "events": len(self.events),
+                "dropped": self.dropped,
+                "now": self.sim.now,
+            }
+            f.write(json.dumps(meta) + "\n")
+            for ev in self.events:
+                f.write(json.dumps(ev.to_dict()) + "\n")
+        finally:
+            if own:
+                f.close()
+        return len(self.events)
+
+    def tail_events(self) -> List[Dict[str, Any]]:
+        """The diagnosis tail as plain dicts (most recent last)."""
+        return [ev.to_dict() for ev in self.tail]

@@ -1,0 +1,231 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON, CSV rollups, metrics JSON.
+
+Input is the raw JSONL trace written by :meth:`TraceBus.dump_jsonl` (one
+JSON object per line, first line a ``meta`` header).  The Chrome exporter
+produces the Trace Event Format that ``ui.perfetto.dev`` and
+``chrome://tracing`` load directly: spans become ``"X"`` complete events,
+instants ``"i"``, counters ``"C"``, and surviving causal ``id``/``parent``
+pairs become ``"s"``/``"f"`` flow arrows.
+
+CLI::
+
+    python -m repro.obs.export --chrome run.trace          # run.trace.json
+    python -m repro.obs.export --csv run.trace             # run.trace.csv
+    python -m repro.obs.export --metrics run.trace         # rollup JSON
+    python -m repro.obs.export --chrome run.trace --out t.json
+
+Exit codes: 0 success, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["read_trace", "to_chrome", "to_csv_rows", "to_metrics", "main"]
+
+#: Track names for the Chrome process/thread metadata, keyed by category.
+_CAT_PID = {
+    "kernel": 0,
+    "phase": 0,
+    "net": 1,
+    "coh": 2,
+    "sync": 3,
+    "wb": 4,
+    "resilience": 5,
+}
+
+
+def read_trace(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a raw JSONL trace; returns ``(meta, events)``."""
+    meta: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno + 1}: bad JSON line: {exc}") from exc
+            if d.get("kind") == "meta":
+                meta = d
+            else:
+                events.append(d)
+    return meta, events
+
+
+def to_chrome(events: Iterable[Dict[str, Any]], meta: Dict[str, Any] | None = None) -> Dict[str, Any]:
+    """Convert raw trace events to a Chrome Trace Event Format document."""
+    events = list(events)
+    out: List[Dict[str, Any]] = []
+    pids_seen: Dict[int, str] = {}
+    # Index spans/instants by message id so flow arrows can bind to them.
+    by_id: Dict[int, Dict[str, Any]] = {}
+    for ev in events:
+        if ev.get("id", -1) >= 0:
+            by_id.setdefault(ev["id"], ev)
+    flow_seq = 0
+    for ev in events:
+        cat = ev.get("cat", "misc")
+        pid = _CAT_PID.get(cat, 9)
+        pids_seen.setdefault(pid, cat)
+        base = {
+            "name": ev.get("name", "?"),
+            "cat": cat,
+            "ts": ev["ts"],
+            "pid": pid,
+            "tid": ev.get("tid", 0),
+        }
+        args = dict(ev.get("args") or {})
+        if ev.get("id", -1) >= 0:
+            args["id"] = ev["id"]
+        if ev.get("parent", -1) >= 0:
+            args["parent"] = ev["parent"]
+        ph = ev.get("ph", "i")
+        if ph == "X":
+            out.append({**base, "ph": "X", "dur": ev.get("dur", 0.0), "args": args})
+        elif ph == "C":
+            out.append({**base, "ph": "C", "args": args})
+        else:
+            out.append({**base, "ph": "i", "s": "t", "args": args})
+        # Causal lineage: draw a flow arrow from the parent's event to this
+        # one when the parent id was traced too.
+        parent = ev.get("parent", -1)
+        if parent >= 0 and parent in by_id:
+            src = by_id[parent]
+            src_pid = _CAT_PID.get(src.get("cat", "misc"), 9)
+            flow_seq += 1
+            out.append(
+                {
+                    "name": "cause",
+                    "cat": "flow",
+                    "ph": "s",
+                    "ts": src["ts"],
+                    "pid": src_pid,
+                    "tid": src.get("tid", 0),
+                    "id": flow_seq,
+                }
+            )
+            out.append(
+                {
+                    "name": "cause",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "ts": ev["ts"],
+                    "pid": pid,
+                    "tid": ev.get("tid", 0),
+                    "id": flow_seq,
+                }
+            )
+    for pid, cat in sorted(pids_seen.items()):
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": cat},
+            }
+        )
+    doc: Dict[str, Any] = {"traceEvents": out, "displayTimeUnit": "ns"}
+    if meta:
+        doc["otherData"] = {
+            "events": meta.get("events"),
+            "dropped": meta.get("dropped"),
+            "completion_time": meta.get("now"),
+        }
+    return doc
+
+
+def to_csv_rows(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Rollup: per (category, name) counts and total/mean span duration."""
+    agg: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for ev in events:
+        key = (ev.get("cat", "misc"), ev.get("name", "?"))
+        row = agg.get(key)
+        if row is None:
+            row = agg[key] = {
+                "cat": key[0],
+                "name": key[1],
+                "count": 0,
+                "spans": 0,
+                "total_dur": 0.0,
+            }
+        row["count"] += 1
+        if ev.get("ph") == "X":
+            row["spans"] += 1
+            row["total_dur"] += ev.get("dur", 0.0)
+    rows = sorted(agg.values(), key=lambda r: (r["cat"], r["name"]))
+    for row in rows:
+        row["mean_dur"] = row["total_dur"] / row["spans"] if row["spans"] else 0.0
+    return rows
+
+
+def to_metrics(events: Iterable[Dict[str, Any]], meta: Dict[str, Any] | None = None) -> Dict[str, Any]:
+    """A JSON metrics document summarizing the trace."""
+    rows = to_csv_rows(events)
+    doc: Dict[str, Any] = {
+        "completion_time": (meta or {}).get("now"),
+        "trace_events": (meta or {}).get("events"),
+        "trace_dropped": (meta or {}).get("dropped"),
+        "by_name": {
+            f"{r['cat']}.{r['name']}": {
+                "count": r["count"],
+                "total_dur": r["total_dur"],
+                "mean_dur": r["mean_dur"],
+            }
+            for r in rows
+        },
+    }
+    return doc
+
+
+def write_csv(rows: List[Dict[str, Any]], path: str) -> None:
+    fields = ["cat", "name", "count", "spans", "total_dur", "mean_dur"]
+    with open(path, "w", newline="") as f:
+        w = csv.DictWriter(f, fieldnames=fields)
+        w.writeheader()
+        for row in rows:
+            w.writerow({k: row[k] for k in fields})
+
+
+def main(argv: List[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Export a raw repro trace (JSONL) to Chrome-trace JSON, CSV, or metrics JSON.",
+    )
+    ap.add_argument("trace", help="raw trace file written with --trace / TraceBus.dump_jsonl")
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--chrome", action="store_true", help="Chrome/Perfetto trace JSON (default)")
+    mode.add_argument("--csv", action="store_true", help="per-(cat,name) CSV rollup")
+    mode.add_argument("--metrics", action="store_true", help="JSON metrics document")
+    ap.add_argument("--out", help="output path (default: trace + .json/.csv)")
+    args = ap.parse_args(argv)
+    try:
+        meta, events = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.csv:
+        out = args.out or args.trace + ".csv"
+        write_csv(to_csv_rows(events), out)
+    elif args.metrics:
+        out = args.out or args.trace + ".metrics.json"
+        with open(out, "w") as f:
+            json.dump(to_metrics(events, meta), f, indent=2)
+    else:
+        out = args.out or args.trace + ".json"
+        with open(out, "w") as f:
+            json.dump(to_chrome(events, meta), f)
+    print(f"{out}: {len(events)} events" + (f" ({meta.get('dropped')} dropped)" if meta.get("dropped") else ""))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

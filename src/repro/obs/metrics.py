@@ -1,0 +1,118 @@
+"""Per-phase metric rollups.
+
+A *phase* is a contiguous interval of simulated time named by the workload
+(``machine.mark_phase("butterfly-3")``).  The machine snapshots its cheap
+run counters (messages, flits, per-type message counts, aggregate node
+counters) at every phase boundary; a :class:`PhaseStat` is the delta
+between two snapshots.  Phase accounting is always on — it costs a few
+dict copies per phase *boundary*, nothing per event — and is independent
+of the trace bus.
+
+:class:`PhaseMetrics` is the full rollup: the ordered phases plus the
+run-level totals, where the totals are exactly a
+:class:`~repro.system.metrics.RunMetrics` (``Machine.metrics()`` returns
+``phase_metrics().totals`` — RunMetrics is a view over this rollup).
+
+Invariant (pinned by tests): the phases tile the marked portion of the
+run, so ``sum(p.cycles) + unattributed_cycles == totals.completion_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..system.metrics import RunMetrics
+
+__all__ = ["PhaseStat", "PhaseMetrics"]
+
+
+@dataclass(slots=True)
+class PhaseStat:
+    """Counter deltas over one named phase ``[t0, t1)``."""
+
+    name: str
+    t0: float = 0.0
+    t1: float = 0.0
+    messages: int = 0
+    flits: int = 0
+    msg_by_type: Dict[str, int] = field(default_factory=dict)
+    node_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return self.t1 - self.t0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "messages": self.messages,
+            "flits": self.flits,
+            "msg_by_type": dict(self.msg_by_type),
+            "node_counters": dict(self.node_counters),
+        }
+
+    @classmethod
+    def from_json(cls, d: Dict[str, Any]) -> "PhaseStat":
+        return cls(
+            name=d["name"],
+            t0=d["t0"],
+            t1=d["t1"],
+            messages=d["messages"],
+            flits=d["flits"],
+            msg_by_type=dict(d.get("msg_by_type", {})),
+            node_counters=dict(d.get("node_counters", {})),
+        )
+
+
+@dataclass(slots=True)
+class PhaseMetrics:
+    """Run totals plus the per-phase breakdown.
+
+    ``totals`` is the run-level :class:`RunMetrics`; ``phases`` the ordered
+    phase deltas; ``unattributed_cycles`` the part of the run before the
+    first phase mark (zero when the workload marks a phase at t=0, the
+    whole run when it never marks one — then ``phases`` holds the single
+    implicit ``"run"`` phase covering everything, so the sum rule still
+    holds with unattributed == 0).
+    """
+
+    totals: RunMetrics = field(default_factory=RunMetrics)
+    phases: List[PhaseStat] = field(default_factory=list)
+    unattributed_cycles: float = 0.0
+
+    def phase(self, name: str) -> PhaseStat:
+        """The first phase with ``name`` (phases may repeat names)."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def check_consistency(self, tol: float = 1e-9) -> None:
+        """Assert the tiling invariant; raises ``ValueError`` on violation."""
+        covered = sum(p.cycles for p in self.phases) + self.unattributed_cycles
+        if abs(covered - self.totals.completion_time) > tol:
+            raise ValueError(
+                f"phase cycles ({covered}) do not tile completion time "
+                f"({self.totals.completion_time})"
+            )
+        for a, b in zip(self.phases, self.phases[1:]):
+            if abs(a.t1 - b.t0) > tol:
+                raise ValueError(f"gap between phases {a.name!r} and {b.name!r}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "totals": self.totals.to_json(),
+            "phases": [p.to_json() for p in self.phases],
+            "unattributed_cycles": self.unattributed_cycles,
+        }
+
+    @classmethod
+    def from_json(cls, d: Dict[str, Any]) -> "PhaseMetrics":
+        return cls(
+            totals=RunMetrics.from_json(d["totals"]),
+            phases=[PhaseStat.from_json(p) for p in d.get("phases", [])],
+            unattributed_cycles=d.get("unattributed_cycles", 0.0),
+        )

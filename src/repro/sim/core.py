@@ -69,7 +69,7 @@ class Event:
     runs their callbacks they are *processed*.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name", "sched_at")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -78,6 +78,9 @@ class Event:
         self._ok: bool = True
         self._state = _PENDING
         self.name = name
+        #: Simulated time this event was scheduled; stamped by ``_schedule``
+        #: only while tracing is enabled (feeds event-latency trace rows).
+        self.sched_at: float = -1.0
 
     # -- state inspection -------------------------------------------------
     @property
@@ -137,9 +140,18 @@ class Event:
             raise SimulationError(f"cannot cancel {self!r}: not triggered/unprocessed")
         self._state = _CANCELED
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
-        return f"<{type(self).__name__} {self.name or hex(id(self))} {state[self._state]}>"
+    _STATE_NAMES = {
+        _PENDING: "pending",
+        _TRIGGERED: "triggered",
+        _PROCESSED: "processed",
+        _CANCELED: "canceled",
+    }
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name or hex(id(self))} "
+            f"{self._STATE_NAMES[self._state]} t={self.sim.now}>"
+        )
 
 
 class Timeout(Event):
@@ -156,6 +168,12 @@ class Timeout(Event):
         self._value = value
         self._state = _TRIGGERED
         sim._schedule(self, delay)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Timeout delay={self.delay} {self._STATE_NAMES[self._state]} "
+            f"t={self.sim.now}>"
+        )
 
 
 class Process(Event):
@@ -185,6 +203,14 @@ class Process(Event):
     def is_alive(self) -> bool:
         """True while the underlying generator has not finished."""
         return self._state == _PENDING
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else self._STATE_NAMES[self._state]
+        waiting = ""
+        if self._waiting_on is not None:
+            target = self._waiting_on
+            waiting = f" waiting_on={target.name or type(target).__name__}"
+        return f"<Process {self.name or hex(id(self))} {status}{waiting} t={self.sim.now}>"
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -216,6 +242,9 @@ class Process(Event):
                 pass
         self._waiting_on = None
         sim = self.sim
+        obs = sim._obs
+        if obs is not None and self.name:
+            obs.instant(f"resume:{self.name}", "kernel", 0)
         sim._active_process = self
         try:
             while True:
@@ -308,7 +337,7 @@ class AnyOf(_Condition):
 class Simulator:
     """The event calendar and execution loop."""
 
-    __slots__ = ("_heap", "_seq", "now", "_active_process", "_jitter", "events_processed")
+    __slots__ = ("_heap", "_seq", "now", "_active_process", "_jitter", "events_processed", "_obs")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
@@ -320,6 +349,9 @@ class Simulator:
         #: Monotonic count of processed (non-canceled) events; the progress
         #: watchdog compares successive readings to detect quiescence.
         self.events_processed: int = 0
+        #: Trace bus (:class:`repro.obs.bus.TraceBus`) or ``None``; the
+        #: machine installs it.  Hot paths test ``is not None`` only.
+        self._obs = None
 
     # -- latency jitter -----------------------------------------------------
     def set_jitter(self, fn: Optional[Callable[[float], float]]) -> None:
@@ -364,6 +396,8 @@ class Simulator:
             delay = self._jitter(delay)
             if delay < 0:
                 raise SimulationError("jitter hook produced a negative delay")
+        if self._obs is not None:
+            event.sched_at = self.now
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
@@ -387,6 +421,13 @@ class Simulator:
         self.now = t
         event._state = _PROCESSED
         self.events_processed += 1
+        obs = self._obs
+        if obs is not None and event.name and obs.enabled_for("kernel"):
+            # Event latency: how long the event sat on the calendar.  Only
+            # named events are traced; anonymous plumbing (bootstrap events,
+            # bare timeouts) would drown the trace.
+            lat = t - event.sched_at if event.sched_at >= 0 else 0.0
+            obs.instant(event.name, "kernel", 0, args={"lat": lat})
         callbacks, event.callbacks = event.callbacks, []
         for cb in callbacks:
             cb(event)

@@ -33,7 +33,9 @@ class Counter:
         return dict(self._counts)
 
     def merge(self, other: "Counter") -> None:
-        for k, v in other._counts.items():
+        # Snapshot so merging a counter into itself doubles every key
+        # instead of mutating the dict mid-iteration.
+        for k, v in list(other._counts.items()):
             self.add(k, v)
 
     def __getitem__(self, key: str) -> int:

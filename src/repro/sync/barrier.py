@@ -44,6 +44,9 @@ class HardwareBarrierEngine(Controller):
         #: (block, participant) -> its BARRIER_ARRIVE message, kept until
         #: the release so the release is recorded under the arrive's rseq.
         self._bar_req: Dict[Tuple[int, int], Message] = {}
+        #: block -> completed-episode count (tracing only; stays empty
+        #: when the trace bus is disabled).
+        self._epoch: Dict[int, int] = {}
 
     # -- participant side ----------------------------------------------------
     def wait(self, block: int, n: int):
@@ -102,6 +105,15 @@ class HardwareBarrierEngine(Controller):
         if entry.barrier_count >= msg.info["n"]:
             waiting, entry.barrier_waiting = entry.barrier_waiting, []
             entry.barrier_count = 0
+            obs = self.obs
+            if obs is not None:
+                epoch = self._epoch.get(entry.block, 0) + 1
+                self._epoch[entry.block] = epoch
+                obs.instant(
+                    "barrier.epoch", "sync", self.node.node_id,
+                    args={"block": entry.block, "epoch": epoch,
+                          "n": len(waiting)},
+                )
             for i, node_id in enumerate(waiting):
                 if i:
                     yield self.sim.timeout(self.cfg.dir_cycle)

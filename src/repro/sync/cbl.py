@@ -224,6 +224,7 @@ class CBLEngine(Controller):
             yield self.sim.timeout(self.cfg.memory_cycle)
             words = self.node.memory.read_block(entry.block)
             self.reply_to(msg, MessageType.LOCK_GRANT, addr=entry.block, words=words)
+            self._obs_grant(entry, req)
         else:
             old_tail = queue[-1][0]
             all_read_holders = all(m == "read" and h for _n, m, h in queue)
@@ -238,10 +239,20 @@ class CBLEngine(Controller):
                 yield self.sim.timeout(self.cfg.memory_cycle)
                 words = self.node.memory.read_block(entry.block)
                 self.reply_to(msg, MessageType.LOCK_GRANT, addr=entry.block, words=words)
-            elif self.node.resilience is not None:
-                # Queued: keep the request so the eventual grant is recorded
-                # under the waiter's rseq (its polls then replay the grant).
-                self._lock_req[(entry.block, req)] = msg
+                self._obs_grant(entry, req)
+            else:
+                obs = self.obs
+                if obs is not None:
+                    obs.instant(
+                        "cbl.queue", "sync", self.node.node_id,
+                        args={"block": entry.block, "waiter": req,
+                              "depth": len(queue)},
+                    )
+                if self.node.resilience is not None:
+                    # Queued: keep the request so the eventual grant is
+                    # recorded under the waiter's rseq (its polls then
+                    # replay the grant).
+                    self._lock_req[(entry.block, req)] = msg
         self._done(entry)
 
     def _h_release(self, msg: Message, entry):
@@ -291,6 +302,16 @@ class CBLEngine(Controller):
             self.reply_to(req_msg, MessageType.LOCK_GRANT, addr=entry.block, words=words)
         else:
             self.send(waiter, MessageType.LOCK_GRANT, addr=entry.block, words=words)
+        self._obs_grant(entry, waiter)
+
+    def _obs_grant(self, entry, waiter: int) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.instant(
+                "cbl.grant", "sync", self.node.node_id,
+                args={"block": entry.block, "waiter": waiter,
+                      "queue": len(entry.lock_queue)},
+            )
 
     def _splice_pointers(self, entry, idx: int, departed: int) -> None:
         """Fix the distributed prev/next pointers around a departure."""

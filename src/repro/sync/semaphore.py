@@ -46,6 +46,7 @@ class SemaphoreEngine(Controller):
     def p(self, block: int):
         """Semaphore P (down): returns when granted.  NP-Synch."""
         self.stats.counters.add("sem.p")
+        t0 = self.sim.now
         yield self.sim.timeout(self.cfg.cache_cycle)
         home = self.amap.home_of(block)
         # Waiters spin locally: no traffic until granted (resilient mode
@@ -54,10 +55,16 @@ class SemaphoreEngine(Controller):
             ("c:sem_grant", block),
             lambda rseq: self.send(home, MessageType.SEM_P, addr=block, rseq=rseq),
         )
+        obs = self.obs
+        if obs is not None:
+            obs.span("sem.p", "sync", self.node.node_id, t0, args={"block": block})
 
     def v(self, block: int, want_ack: bool = False):
         """Semaphore V (up).  CP-Synch; fire-and-forget unless ``want_ack``."""
         self.stats.counters.add("sem.v")
+        obs = self.obs
+        if obs is not None:
+            obs.instant("sem.v", "sync", self.node.node_id, args={"block": block})
         yield self.sim.timeout(self.cfg.cache_cycle)
         home = self.amap.home_of(block)
         if self.node.resilience is not None:
@@ -125,6 +132,12 @@ class SemaphoreEngine(Controller):
                 self.reply_to(req_msg, MessageType.SEM_GRANT, addr=entry.block)
             else:
                 self.send(waiter, MessageType.SEM_GRANT, addr=entry.block)
+            obs = self.obs
+            if obs is not None:
+                obs.instant(
+                    "sem.wake", "sync", self.node.node_id,
+                    args={"block": entry.block, "waiter": waiter},
+                )
         else:
             entry.sem_count += 1
         if msg.info.get("want_ack"):

@@ -41,6 +41,17 @@ __all__ = [
 ]
 
 
+def _failed_probe(proc: "Processor", lock: object, addr: int) -> None:
+    """Count a failed lock probe (and trace it when the bus is on)."""
+    proc.stats.counters.add("lock.failed_probes")
+    obs = proc.obs
+    if obs is not None:
+        obs.instant(
+            f"probe_failed:{type(lock).__name__}", "sync", proc.node_id,
+            args={"addr": addr},
+        )
+
+
 def _spin_ctl(proc: "Processor"):
     ctl = proc.data
     if not hasattr(ctl, "watch_invalidation"):
@@ -66,7 +77,7 @@ class TSLock:
             old = yield from ctl.rmw(self.addr, "test_set")
             if old == 0:
                 return
-            proc.stats.counters.add("lock.failed_probes")
+            _failed_probe(proc, self, self.addr)
 
     def release(self, proc: "Processor", want_ack: bool = False):
         yield from proc.data.rmw(self.addr, "write", 0)
@@ -88,7 +99,7 @@ class TTSLock:
             old = yield from ctl.rmw(self.addr, "test_set")
             if old == 0:
                 return
-            proc.stats.counters.add("lock.failed_probes")
+            _failed_probe(proc, self, self.addr)
             while True:
                 v = yield from ctl.read(self.addr)
                 if v == 0:
@@ -127,7 +138,7 @@ class TTSBackoffLock:
             old = yield from ctl.rmw(self.addr, "test_set")
             if old == 0:
                 return
-            proc.stats.counters.add("lock.failed_probes")
+            _failed_probe(proc, self, self.addr)
             yield proc.sim.timeout(delay)
             delay = min(delay * 2, self.max_delay)
 
@@ -158,7 +169,7 @@ class TicketLock:
             v = yield from ctl.read(self.serving_addr)
             if v == ticket:
                 return
-            proc.stats.counters.add("lock.failed_probes")
+            _failed_probe(proc, self, self.serving_addr)
             yield ctl.watch_invalidation(self.serving_block)
 
     def release(self, proc: "Processor", want_ack: bool = False):
@@ -201,7 +212,7 @@ class MCSLock:
             v = yield from ctl.read(self.flag_addr[me])
             if v == 0:
                 return
-            proc.stats.counters.add("lock.failed_probes")
+            _failed_probe(proc, self, self.flag_addr[me])
             yield ctl.watch_invalidation(my_flag_block)
 
     def release(self, proc: "Processor", want_ack: bool = False):

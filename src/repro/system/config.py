@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import ResilienceParams
+    from ..obs import ObsParams
 
 __all__ = ["MachineConfig"]
 
@@ -53,6 +54,12 @@ class MachineConfig:
     #: :class:`~repro.system.machine.Machine` with a fault plan defaults
     #: this to :data:`~repro.faults.plan.DEFAULT_RESILIENCE`.
     resilience: Optional["ResilienceParams"] = None
+    #: Tracing policy (:class:`~repro.obs.ObsParams`).  ``None`` (default)
+    #: disables the instrumentation bus entirely: every emission site is
+    #: guarded by one ``is not None`` test, so the disabled machine's hot
+    #: paths are untouched.  Phase accounting (cheap, per-boundary) is
+    #: always on regardless.
+    obs: Optional["ObsParams"] = None
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -20,6 +20,8 @@ from ..network.omega import BufferedOmegaNetwork, OmegaNetwork
 from ..network.topology import NetworkParams
 from ..node.node import Node
 from ..node.processor import Processor
+from ..obs import TraceBus
+from ..obs.metrics import PhaseMetrics, PhaseStat
 from ..sim.core import AllOf, Process, Simulator
 from ..sim.rng import RngStreams
 from ..sim.watchdog import Watchdog
@@ -90,6 +92,11 @@ class Machine:
             FaultPlan(faults) if faults is not None and not faults.is_null else None
         )
         self.sim = Simulator()
+        #: Trace bus, or ``None`` when ``cfg.obs`` is unset (the default):
+        #: every instrumented component caches this reference, and the
+        #: disabled machine pays one ``is not None`` branch per site.
+        self.obs: Optional[TraceBus] = TraceBus(self.sim, cfg.obs) if cfg.obs is not None else None
+        self.sim._obs = self.obs
         self.rng = RngStreams(cfg.seed)
         self.amap = AddressMap(cfg.n_nodes, cfg.words_per_block)
         net_params = NetworkParams(
@@ -99,11 +106,14 @@ class Machine:
             buffer_capacity=cfg.buffer_capacity,
         )
         self.net = _NETWORKS[cfg.network](self.sim, cfg.n_nodes, net_params)
+        self.net.obs = self.obs
         if self.fault_plan is not None:
             self.net.set_fault_plan(self.fault_plan)
         self.nodes: List[Node] = []
         for i in range(cfg.n_nodes):
             node = Node(i, self.sim, cfg, self.net, self.amap)
+            # Controllers cache node.obs at construction, so install first.
+            node.obs = self.obs
             if protocol == "wbi":
                 node.data_ctl = WBICacheController(node)
                 node.home_ctl = WBIHomeController(node)
@@ -119,6 +129,8 @@ class Machine:
                     capacity=cfg.write_buffer_capacity,
                     resilience=cfg.resilience,
                     retry_counters=node.stats.counters,
+                    obs=self.obs,
+                    owner=node.node_id,
                 )
             node.register(node.data_ctl)
             node.register(node.home_ctl)
@@ -132,6 +144,10 @@ class Machine:
         self._next_block = 0
         self._procs: List[Process] = []
         self._processors: list = []
+        # Phase accounting (always on; cost is per phase *boundary* only):
+        # closed phases plus the open one as (name, t0, counter snapshot).
+        self._phases_closed: List[PhaseStat] = []
+        self._phase_open: Optional[tuple] = None
 
     # -- write buffer wiring ---------------------------------------------------
     def _make_issue(self, node: Node):
@@ -248,30 +264,123 @@ class Machine:
             total += node.stats.counters.as_dict().get(key, 0)
         return total
 
-    # -- reporting ----------------------------------------------------------
-    def metrics(self) -> RunMetrics:
-        m = RunMetrics()
-        m.completion_time = self.sim.now
-        m.messages = self.net.message_count
-        m.flits = self.net.stats.counters["flits"]
-        m.mean_net_latency = self.net.mean_latency
-        m.msg_by_type = {
-            k[len("msg.") :]: v
-            for k, v in self.net.stats.counters.as_dict().items()
-            if k.startswith("msg.")
+    # -- phases -------------------------------------------------------------
+    def _counters_snapshot(self) -> tuple:
+        """Cheap snapshot of the run counters used for phase deltas."""
+        net = self.net.stats.counters
+        msg_by_type = {
+            k[len("msg.") :]: v for k, v in net.as_dict().items() if k.startswith("msg.")
         }
+        node_counters: dict = {}
         for node in self.nodes:
             for k, v in node.stats.counters.as_dict().items():
-                m.node_counters[k] = m.node_counters.get(k, 0) + v
+                node_counters[k] = node_counters.get(k, 0) + v
         for proc in self._processors:
             for k in ("compute_cycles", "data_cycles", "sync_cycles"):
-                m.node_counters[k] = m.node_counters.get(k, 0) + proc.stats.counters[k]
-        m.retries = m.node_counters.get("resilience.retries", 0)
-        m.timeouts = m.node_counters.get("resilience.timeouts", 0)
-        m.timeout_cycles = m.node_counters.get("resilience.timeout_cycles", 0)
+                node_counters[k] = node_counters.get(k, 0) + proc.stats.counters[k]
+        return net["messages"], net["flits"], msg_by_type, node_counters
+
+    @staticmethod
+    def _close_phase(name: str, t0: float, snap0: tuple, t1: float, snap1: tuple) -> PhaseStat:
+        msgs0, flits0, by_type0, node0 = snap0
+        msgs1, flits1, by_type1, node1 = snap1
+        return PhaseStat(
+            name=name,
+            t0=t0,
+            t1=t1,
+            messages=msgs1 - msgs0,
+            flits=flits1 - flits0,
+            msg_by_type={
+                k: v - by_type0.get(k, 0)
+                for k, v in by_type1.items()
+                if v - by_type0.get(k, 0)
+            },
+            node_counters={
+                k: v - node0.get(k, 0) for k, v in node1.items() if v - node0.get(k, 0)
+            },
+        )
+
+    def mark_phase(self, name: str) -> None:
+        """Enter workload phase ``name`` (idempotent per phase).
+
+        Closes the currently open phase and snapshots the run counters, so
+        :meth:`phase_metrics` can attribute cycles/messages per phase.  A
+        repeated mark with the open phase's name is a no-op — concurrent
+        workers may all announce the same phase; the first one switches.
+        Also emits a ``phase`` instant on the trace bus when tracing is on.
+        """
+        if self._phase_open is not None and self._phase_open[0] == name:
+            return
+        now = self.sim.now
+        snap = self._counters_snapshot()
+        if self._phase_open is not None:
+            prev_name, t0, snap0 = self._phase_open
+            self._phases_closed.append(self._close_phase(prev_name, t0, snap0, now, snap))
+        self._phase_open = (name, now, snap)
+        if self.obs is not None:
+            self.obs.instant(f"phase:{name}", "phase", 0)
+
+    def phase_metrics(self) -> PhaseMetrics:
+        """Per-phase rollup plus run totals (``RunMetrics`` is its view).
+
+        Phases tile the run: the open phase is closed virtually at the
+        current time (non-destructively — the machine can keep running),
+        and a run that never marked a phase reports one implicit ``"run"``
+        phase covering everything.  The invariant
+        ``sum(p.cycles) + unattributed_cycles == totals.completion_time``
+        is checked by :meth:`PhaseMetrics.check_consistency`.
+        """
+        now = self.sim.now
+        snap = self._counters_snapshot()
+        phases = list(self._phases_closed)
+        if self._phase_open is not None:
+            name, t0, snap0 = self._phase_open
+            phases.append(self._close_phase(name, t0, snap0, now, snap))
+        messages, flits, msg_by_type, node_counters = snap
+        m = RunMetrics()
+        m.completion_time = now
+        m.messages = messages
+        m.flits = flits
+        m.mean_net_latency = self.net.mean_latency
+        m.msg_by_type = msg_by_type
+        m.node_counters = node_counters
+        m.retries = node_counters.get("resilience.retries", 0)
+        m.timeouts = node_counters.get("resilience.timeouts", 0)
+        m.timeout_cycles = node_counters.get("resilience.timeout_cycles", 0)
         if self.fault_plan is not None:
             m.faults = self.fault_plan.counters()
-        return m
+        if not phases:
+            phases = [
+                PhaseStat(
+                    name="run",
+                    t0=0.0,
+                    t1=now,
+                    messages=messages,
+                    flits=flits,
+                    msg_by_type=dict(msg_by_type),
+                    node_counters=dict(node_counters),
+                )
+            ]
+            unattributed = 0.0
+        else:
+            unattributed = phases[0].t0
+        return PhaseMetrics(totals=m, phases=phases, unattributed_cycles=unattributed)
+
+    # -- reporting ----------------------------------------------------------
+    def metrics(self) -> RunMetrics:
+        """Run-level metrics — a view over :meth:`phase_metrics` totals."""
+        return self.phase_metrics().totals
+
+    def dump_trace(self, path) -> int:
+        """Write the raw trace (JSONL) to ``path``; returns the event count.
+
+        Requires the machine to have been built with ``cfg.obs`` set.
+        """
+        if self.obs is None:
+            raise RuntimeError(
+                "tracing is disabled: build the machine with MachineConfig(obs=ObsParams())"
+            )
+        return self.obs.dump_jsonl(path)
 
     def time_breakdown(self) -> dict:
         """Aggregate compute/data/sync cycle split over all processors."""

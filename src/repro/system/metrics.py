@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 __all__ = ["RunMetrics"]
 
@@ -15,6 +15,11 @@ class RunMetrics:
     The paper's headline metric is *completion time measured in machine
     cycles* (not processor utilization, because "synchronization activities
     may keep the processor busy without performing any useful computation").
+
+    Since the observability refactor this object is a *view*: the machine
+    derives it from :class:`~repro.obs.metrics.PhaseMetrics` totals
+    (``Machine.metrics()`` is ``Machine.phase_metrics().totals``), keeping
+    these public fields stable for existing analysis code.
     """
 
     completion_time: float = 0.0
@@ -36,3 +41,49 @@ class RunMetrics:
     def messages_of(self, prefix: str) -> int:
         """Total messages whose type name starts with ``prefix``."""
         return sum(v for k, v in self.msg_by_type.items() if k.startswith(prefix))
+
+    def to_json(self) -> Dict[str, Any]:
+        """A plain-JSON dict of every field (round-trips via from_json)."""
+        return {
+            "completion_time": self.completion_time,
+            "messages": self.messages,
+            "flits": self.flits,
+            "mean_net_latency": self.mean_net_latency,
+            "msg_by_type": dict(self.msg_by_type),
+            "node_counters": dict(self.node_counters),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "timeout_cycles": self.timeout_cycles,
+            "faults": dict(self.faults),
+        }
+
+    @classmethod
+    def from_json(cls, d: Dict[str, Any]) -> "RunMetrics":
+        """Rebuild a RunMetrics from a :meth:`to_json` dict.
+
+        Tolerates missing keys (older documents) by falling back to the
+        field defaults, but rejects unknown keys so schema drift is loud.
+        """
+        known = {
+            "completion_time",
+            "messages",
+            "flits",
+            "mean_net_latency",
+            "msg_by_type",
+            "node_counters",
+            "retries",
+            "timeouts",
+            "timeout_cycles",
+            "faults",
+        }
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown RunMetrics fields: {sorted(unknown)}")
+        m = cls()
+        for key in known:
+            if key in d:
+                value = d[key]
+                if key in ("msg_by_type", "node_counters", "faults"):
+                    value = dict(value)
+                setattr(m, key, value)
+        return m

@@ -70,6 +70,7 @@ from ..consistency.faults import FAULT_MODELS, get_fault_model
 from ..consistency.models import ConsistencyModel, get_model
 from ..faults.diagnosis import HangDiagnosis
 from ..faults.plan import FaultSpec
+from ..obs import ObsParams
 from ..sim.rng import RngStreams
 from ..sim.watchdog import HangError
 from ..sync.base import CBLLock, HWBarrier
@@ -252,6 +253,7 @@ def run_program(
     max_cycles: float = 5_000_000,
     faults: Optional[FaultSpec] = None,
     on_hang: Optional[Callable[[HangDiagnosis], None]] = None,
+    trace_path: Optional[str] = None,
 ) -> Optional[str]:
     """Execute ``program`` once and run every oracle.
 
@@ -259,9 +261,15 @@ def run_program(
     Fully deterministic for a fixed argument tuple.  ``faults`` installs a
     fault plan (the oracles then check the *recovered* run); a watchdog
     hang is reported as a failure and its diagnosis passed to ``on_hang``.
+    ``trace_path`` enables the trace bus and dumps the run's trace (JSONL)
+    there, whatever the outcome — tracing does not perturb simulated time,
+    so a failure reproduces identically with it on.
     """
     n_nodes = max(4, _next_pow2(program.n_threads + 1))
-    cfg = MachineConfig(n_nodes=n_nodes, cache_blocks=64, cache_assoc=2, seed=seed)
+    cfg = MachineConfig(
+        n_nodes=n_nodes, cache_blocks=64, cache_assoc=2, seed=seed,
+        obs=ObsParams() if trace_path is not None else None,
+    )
     machine = Machine(cfg, protocol=protocol, faults=faults)
     if jitter > 0:
         machine.sim.set_jitter(
@@ -347,6 +355,9 @@ def run_program(
         return f"hang diagnosed: {exc} [{blame}]"
     except RuntimeError as exc:
         return f"deadlock guard: {exc}"
+    finally:
+        if trace_path is not None:
+            machine.dump_trace(trace_path)
 
     try:
         check_all(machine)
@@ -796,6 +807,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="write the structured hang diagnosis (JSON) here on a watchdog trip",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="on failure, replay the failing run with the trace bus on and "
+        "dump its trace (JSONL) here; convert with "
+        "`python -m repro.obs.export --chrome PATH`",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.iters < 1:
@@ -853,6 +872,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{report.shrunk_program.n_threads} thread(s)\n"
         )
         print(report.reproducer)
+    if args.trace and report.failing_program is not None:
+        # Replay the original failing run (guaranteed to fail at this exact
+        # seed, unlike the shrunk program's oracle seeds) with tracing on.
+        model_used = args.inject if args.inject else report.model
+        run_program(
+            report.failing_program,
+            protocol=report.protocol,
+            model=model_used,
+            seed=report.seed,
+            jitter=report.jitter,
+            faults=report.fault_spec,
+            trace_path=args.trace,
+        )
+        print(f"trace of failing run written to {args.trace}")
     return 1
 
 

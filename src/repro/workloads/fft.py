@@ -72,6 +72,9 @@ class FFTWorkload:
         amap = self.machine.amap
         prev_partner = None
         for phase in range(self.n_phases):
+            # Idempotent per phase name: every worker announces the phase,
+            # the first one to arrive opens it.
+            self.machine.mark_phase(f"butterfly-{phase}")
             partner = me ^ (1 << phase)
             # Subscribe to this phase's input region; optionally drop the
             # previous subscription first.

@@ -1,0 +1,110 @@
+"""HangDiagnosis carries the trace tail when the bus is on.
+
+The watchdog's blame set says *who* is stuck; the trace tail says what they
+were doing just before.  ``diagnose_machine`` filters the bus's recent
+events down to the blamed nodes/blocks (falling back to the whole tail when
+nothing matches), and the tail must survive ``to_dict`` and show up in
+``format`` so operators see it in dumps and tracebacks alike.
+"""
+
+import json
+
+import pytest
+
+from repro import CBLLock, Machine, MachineConfig, ObsParams
+from repro.faults.diagnosis import diagnose_machine
+from repro.faults.plan import FaultSpec, ResilienceParams
+from repro.sim.watchdog import HangError
+
+
+def _traced_lock_run(obs=None):
+    cfg = MachineConfig(n_nodes=4, seed=3, obs=obs)
+    machine = Machine(cfg, protocol="primitives")
+    lock = CBLLock(machine)
+
+    def worker(proc):
+        for _ in range(2):
+            yield from proc.acquire(lock)
+            value = yield from lock.read_data(proc, 0)
+            yield from lock.write_data(proc, 0, value + 1)
+            yield from proc.release(lock)
+
+    for i in range(4):
+        machine.spawn(worker(machine.processor(i, consistency="bc")), name=f"w{i}")
+    machine.run_all()
+    return machine
+
+
+def _stuck_traced_machine(seed):
+    """Retry-disabled lossy fabric (the watchdog-test recipe) + trace bus."""
+    cfg = MachineConfig(
+        n_nodes=4,
+        cache_blocks=64,
+        cache_assoc=2,
+        seed=seed,
+        resilience=ResilienceParams(max_retries=0),
+        obs=ObsParams(),
+    )
+    machine = Machine(cfg, protocol="wbi", faults=FaultSpec(drop_prob=0.08, seed=seed))
+    ctr = machine.alloc_word()
+    machine.poke(ctr, 0)
+
+    def worker(t):
+        proc = machine.processor(t % 4, consistency="bc")
+        machine._processors.append(proc)
+
+        def body():
+            for _ in range(6):
+                value = yield from proc.shared_read(ctr)
+                yield from proc.shared_write(ctr, value + 1)
+                yield from proc.rmw(ctr, "fetch_add", 0)
+
+        return body()
+
+    for t in range(3):
+        machine.spawn(worker(t), name=f"w{t}")
+    return machine
+
+
+def test_trace_tail_empty_without_bus():
+    machine = _traced_lock_run(obs=None)
+    diag = diagnose_machine(machine, "probe")
+    assert diag.trace_tail == []
+    assert "trace tail:" not in diag.format()
+
+
+def test_trace_tail_falls_back_to_whole_tail_when_nothing_blamed():
+    machine = _traced_lock_run(obs=ObsParams())
+    diag = diagnose_machine(machine, "probe")
+    # Healthy machine: no blamed objects, so the whole recent tail is kept.
+    assert diag.blame == set()
+    assert diag.trace_tail
+    assert diag.trace_tail == machine.obs.tail_events()
+
+
+def test_trace_tail_survives_to_dict_and_format():
+    machine = _traced_lock_run(obs=ObsParams())
+    diag = diagnose_machine(machine, "probe")
+    payload = json.loads(json.dumps(diag.to_dict(), sort_keys=True))
+    assert payload["trace_tail"] == diag.trace_tail
+    text = diag.format()
+    assert "trace tail:" in text
+    assert diag.trace_tail[-1]["name"] in text
+
+
+def test_hang_diagnosis_on_traced_machine_carries_tail():
+    caught = 0
+    for seed in range(4):
+        machine = _stuck_traced_machine(seed)
+        try:
+            machine.run_all(max_cycles=5_000_000)
+        except HangError as exc:
+            diag = exc.diagnosis
+            assert diag.blame
+            assert diag.trace_tail, "traced hang must carry its trace tail"
+            # Every tail entry is a serializable event dict.
+            for ev in diag.trace_tail:
+                assert "ts" in ev and "name" in ev and "cat" in ev
+            assert "trace tail:" in diag.format()
+            caught += 1
+    assert caught >= 1

@@ -65,6 +65,51 @@ def test_main_in_process_matches_subprocess_contract():
     assert exc_info.value.code == 2
 
 
+def test_trace_flag_replays_the_original_failing_run(tmp_path, monkeypatch):
+    """--trace re-runs the *original* failing program with the bus enabled."""
+    calls = []
+
+    def fake_run_program(program, **kwargs):
+        calls.append(kwargs)
+        trace_path = kwargs.get("trace_path")
+        if trace_path is not None:
+            with open(trace_path, "w") as fh:
+                fh.write('{"kind": "meta", "events": 0, "dropped": 0, "now": 0}\n')
+            return None  # the traced replay's verdict is not consulted
+        return "violation: injected for test"
+
+    monkeypatch.setattr(fuzz_mod, "run_program", fake_run_program)
+    out = tmp_path / "fail.trace"
+    code = fuzz_mod.main(
+        ["--seed", "0", "--iters", "1", "--no-shrink", "--trace", str(out)]
+    )
+    assert code == 1
+    assert out.exists()
+    assert json.loads(out.read_text().splitlines()[0])["kind"] == "meta"
+    # Exactly one traced call (the replay), after the untraced fuzz run.
+    traced = [kw for kw in calls if kw.get("trace_path") is not None]
+    assert len(traced) == 1
+    assert traced[0]["trace_path"] == str(out)
+
+
+def test_trace_flag_end_to_end_on_real_failure(tmp_path):
+    """Subprocess check: a genuine injected failure leaves a readable trace."""
+    out = tmp_path / "real.trace"
+    proc = _run(
+        [
+            "--seed", "2", "--iters", "40", "--protocol", "primitives",
+            "--inject", "bc-no-release-fence", "--no-shrink",
+            "--trace", str(out),
+        ]
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "trace of failing run written to" in proc.stdout
+    lines = out.read_text().splitlines()
+    meta = json.loads(lines[0])
+    assert meta["kind"] == "meta"
+    assert meta["events"] == len(lines) - 1 > 0
+
+
 def test_dump_diagnosis_written_on_hang(tmp_path, monkeypatch):
     """A watchdog trip surfaces through --dump-diagnosis as JSON."""
     from repro.faults.diagnosis import HangDiagnosis

@@ -1,0 +1,114 @@
+"""Unit tests for the trace bus: event shapes, gating, caps, dumping."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import ObsParams, TraceBus, TraceEvent
+
+
+class FakeSim:
+    """Just enough simulator for the bus: a readable clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_bus(**kw):
+    sim = FakeSim()
+    return sim, TraceBus(sim, ObsParams(**kw))
+
+
+def test_obsparams_validation():
+    with pytest.raises(ValueError):
+        ObsParams(max_events=0)
+    with pytest.raises(ValueError):
+        ObsParams(tail_events=0)
+    p = ObsParams(categories=["net", "coh"])
+    assert p.categories == frozenset({"net", "coh"})
+
+
+def test_instant_event_shape():
+    sim, bus = make_bus()
+    sim.now = 7.5
+    bus.instant("send:DATA", "net", tid=3, args={"dst": 1}, id=42, parent=41)
+    (ev,) = bus.events
+    d = ev.to_dict()
+    assert d == {
+        "ts": 7.5, "ph": "i", "name": "send:DATA", "cat": "net",
+        "tid": 3, "id": 42, "parent": 41, "args": {"dst": 1},
+    }
+
+
+def test_span_duration_and_sparse_dict():
+    sim, bus = make_bus()
+    sim.now = 30.0
+    bus.span("miss:read", "coh", 2, t0=10.0)
+    (ev,) = bus.events
+    assert ev.ts == 10.0 and ev.dur == 20.0
+    d = ev.to_dict()
+    assert d["ph"] == "X" and d["dur"] == 20.0
+    # Unset id/parent/args never appear in the serialized form.
+    assert "id" not in d and "parent" not in d and "args" not in d
+
+
+def test_counter_event():
+    sim, bus = make_bus()
+    sim.now = 4.0
+    bus.counter("wb.occupancy", "wb", 1, {"pending": 3})
+    (ev,) = bus.events
+    d = ev.to_dict()
+    assert d["ph"] == "C" and d["args"] == {"pending": 3}
+
+
+def test_category_gating():
+    sim, bus = make_bus(categories=frozenset({"net"}))
+    assert bus.enabled_for("net")
+    assert not bus.enabled_for("coh")
+    bus.instant("a", "net")
+    bus.instant("b", "coh")
+    bus.span("c", "sync", 0, t0=0.0)
+    bus.counter("d", "wb", 0, {"x": 1})
+    assert [e.name for e in bus.events] == ["a"]
+
+
+def test_max_events_cap_feeds_tail_and_dropped():
+    sim, bus = make_bus(max_events=3, tail_events=2)
+    for i in range(5):
+        sim.now = float(i)
+        bus.instant(f"e{i}", "net")
+    assert [e.name for e in bus.events] == ["e0", "e1", "e2"]
+    assert bus.dropped == 2
+    # The tail keeps the most recent events even past the cap.
+    assert [e["name"] for e in bus.tail_events()] == ["e3", "e4"]
+
+
+def test_dump_jsonl_meta_and_roundtrip(tmp_path):
+    sim, bus = make_bus()
+    bus.instant("x", "net", tid=1)
+    sim.now = 5.0
+    bus.span("y", "coh", 2, t0=1.0)
+    path = tmp_path / "run.trace"
+    n = bus.dump_jsonl(str(path))
+    assert n == 2
+    lines = path.read_text().splitlines()
+    meta = json.loads(lines[0])
+    assert meta == {"kind": "meta", "events": 2, "dropped": 0, "now": 5.0}
+    events = [json.loads(line) for line in lines[1:]]
+    assert [e["name"] for e in events] == ["x", "y"]
+
+
+def test_dump_jsonl_accepts_open_file():
+    sim, bus = make_bus()
+    bus.instant("x", "net")
+    buf = io.StringIO()
+    assert bus.dump_jsonl(buf) == 1
+    lines = buf.getvalue().splitlines()
+    assert json.loads(lines[0])["kind"] == "meta"
+    assert json.loads(lines[1])["name"] == "x"
+
+
+def test_trace_event_repr_mentions_phase_and_name():
+    ev = TraceEvent(1.0, "X", "miss", "coh", dur=3.0)
+    assert "miss" in repr(ev) and "dur=3.0" in repr(ev)

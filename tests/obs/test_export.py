@@ -1,0 +1,149 @@
+"""Exporter tests: a real traced run must produce Perfetto-loadable JSON.
+
+The Chrome Trace Event Format contract is validated structurally (required
+keys per phase letter, flow-arrow pairing, metadata rows) — the acceptance
+gate for ``python -m repro.obs.export --chrome``.
+"""
+
+import json
+
+import pytest
+
+from repro import CBLLock, Machine, MachineConfig, ObsParams
+from repro.obs.export import main, read_trace, to_chrome, to_csv_rows, to_metrics
+
+#: pid assignments the exporter promises (one Chrome "process" per layer).
+_KNOWN_CATS = {"kernel", "phase", "net", "coh", "sync", "wb", "resilience"}
+
+
+def traced_run(obs=None):
+    cfg = MachineConfig(n_nodes=4, seed=3, obs=obs or ObsParams())
+    machine = Machine(cfg, protocol="primitives")
+    lock = CBLLock(machine)
+
+    def worker(proc):
+        for _ in range(2):
+            yield from proc.acquire(lock)
+            value = yield from lock.read_data(proc, 0)
+            yield from lock.write_data(proc, 0, value + 1)
+            yield from proc.release(lock)
+
+    for i in range(4):
+        machine.spawn(worker(machine.processor(i, consistency="bc")), name=f"w{i}")
+    machine.run_all()
+    return machine
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    machine = traced_run()
+    path = tmp_path_factory.mktemp("trace") / "run.trace"
+    n = machine.dump_trace(str(path))
+    assert n > 0
+    return str(path)
+
+
+def test_read_trace_returns_meta_and_events(trace_file):
+    meta, events = read_trace(trace_file)
+    assert meta["kind"] == "meta"
+    assert meta["events"] == len(events) > 0
+    assert meta["dropped"] == 0
+    assert all("ts" in e and "ph" in e and "name" in e for e in events)
+
+
+def test_chrome_doc_is_schema_valid(trace_file):
+    meta, events = read_trace(trace_file)
+    doc = to_chrome(events, meta)
+    json.dumps(doc)  # must be JSON-serializable as-is
+    assert set(doc) >= {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["otherData"]["dropped"] == 0
+    rows = doc["traceEvents"]
+    assert rows
+    for row in rows:
+        assert {"name", "ph", "pid", "tid"} <= set(row)
+        if row["ph"] == "X":
+            assert "dur" in row and "ts" in row
+        elif row["ph"] == "i":
+            assert row["s"] == "t"
+        elif row["ph"] in ("s", "f"):
+            assert row["name"] == "cause" and "id" in row
+        elif row["ph"] == "M":
+            assert row["name"] == "process_name"
+            assert row["args"]["name"] in _KNOWN_CATS
+    # Every layer that emitted gets a process_name metadata row.
+    assert any(r["ph"] == "M" for r in rows)
+
+
+def test_chrome_flow_arrows_pair_up(trace_file):
+    meta, events = read_trace(trace_file)
+    rows = to_chrome(events, meta)["traceEvents"]
+    starts = [r["id"] for r in rows if r["ph"] == "s"]
+    finishes = [r["id"] for r in rows if r["ph"] == "f"]
+    assert starts, "traced CBL run should produce causal parent links"
+    assert sorted(starts) == sorted(finishes)
+    assert len(set(starts)) == len(starts)
+
+
+def test_csv_rollup_aggregates_spans(trace_file):
+    _, events = read_trace(trace_file)
+    rows = to_csv_rows(events)
+    assert rows
+    by_key = {(r["cat"], r["name"]): r for r in rows}
+    assert sum(r["count"] for r in rows) == len(events)
+    for r in rows:
+        if r["spans"]:
+            assert r["mean_dur"] == pytest.approx(r["total_dur"] / r["spans"])
+        else:
+            assert r["mean_dur"] == 0.0
+    # Sync spans from the lock workload must be present.
+    assert any(cat == "sync" and name.startswith("acquire:") for cat, name in by_key)
+
+
+def test_metrics_doc(trace_file):
+    meta, events = read_trace(trace_file)
+    doc = to_metrics(events, meta)
+    assert doc["trace_events"] == len(events)
+    assert doc["completion_time"] == meta["now"]
+    assert doc["by_name"]
+
+
+def test_cli_chrome_csv_metrics(trace_file, tmp_path, capsys):
+    chrome_out = tmp_path / "t.json"
+    assert main([trace_file, "--chrome", "--out", str(chrome_out)]) == 0
+    assert json.loads(chrome_out.read_text())["traceEvents"]
+
+    csv_out = tmp_path / "t.csv"
+    assert main([trace_file, "--csv", "--out", str(csv_out)]) == 0
+    header = csv_out.read_text().splitlines()[0]
+    assert header == "cat,name,count,spans,total_dur,mean_dur"
+
+    metrics_out = tmp_path / "t.metrics.json"
+    assert main([trace_file, "--metrics", "--out", str(metrics_out)]) == 0
+    assert "by_name" in json.loads(metrics_out.read_text())
+    capsys.readouterr()
+
+
+def test_cli_default_output_path(trace_file, capsys):
+    assert main([trace_file]) == 0
+    out = capsys.readouterr().out
+    assert trace_file + ".json" in out
+    assert json.loads(open(trace_file + ".json").read())["traceEvents"]
+
+
+def test_cli_input_errors(tmp_path, capsys):
+    assert main([str(tmp_path / "missing.trace")]) == 2
+    bad = tmp_path / "bad.trace"
+    bad.write_text('{"kind": "meta"}\nnot json\n')
+    assert main([str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "bad JSON line" in err
+
+
+def test_max_events_cap_recorded_in_meta(tmp_path):
+    machine = traced_run(obs=ObsParams(max_events=10, tail_events=4))
+    path = tmp_path / "capped.trace"
+    machine.dump_trace(str(path))
+    meta, events = read_trace(str(path))
+    assert len(events) == 10
+    assert meta["dropped"] > 0
+    assert len(machine.obs.tail_events()) == 4

@@ -1,0 +1,147 @@
+"""Phase accounting: rollups must tile the run and sum to the legacy totals.
+
+Phase metrics are always on (no ``ObsParams`` needed), and
+``Machine.metrics()`` is pinned as a view over ``phase_metrics().totals``.
+"""
+
+import json
+
+import pytest
+
+from repro import CBLLock, HWBarrier, Machine, MachineConfig, ObsParams, PhaseMetrics
+from repro.obs.metrics import PhaseStat
+from repro.workloads.fft import FFTParams, FFTWorkload
+
+
+def run_machine(obs=None, mark_phases=False, seed=3):
+    cfg = MachineConfig(n_nodes=4, seed=seed, obs=obs)
+    machine = Machine(cfg, protocol="primitives")
+    lock = CBLLock(machine)
+    bar = HWBarrier(machine, n=4)
+
+    def worker(proc):
+        if mark_phases:
+            machine.mark_phase("increment")
+        for _ in range(2):
+            yield from proc.acquire(lock)
+            value = yield from lock.read_data(proc, 0)
+            yield from lock.write_data(proc, 0, value + 1)
+            yield from proc.release(lock)
+        if mark_phases:
+            machine.mark_phase("meet")
+        yield from proc.barrier(bar)
+
+    for i in range(4):
+        machine.spawn(worker(machine.processor(i, consistency="bc")), name=f"w{i}")
+    machine.run_all()
+    return machine
+
+
+def test_implicit_run_phase_when_never_marked():
+    machine = run_machine()
+    pm = machine.phase_metrics()
+    pm.check_consistency()
+    assert [p.name for p in pm.phases] == ["run"]
+    assert pm.unattributed_cycles == 0.0
+    (phase,) = pm.phases
+    assert phase.t0 == 0.0
+    assert phase.t1 == pm.totals.completion_time
+    assert phase.messages == pm.totals.messages
+
+
+def test_marked_phases_tile_the_run():
+    machine = run_machine(mark_phases=True)
+    pm = machine.phase_metrics()
+    pm.check_consistency()
+    names = [p.name for p in pm.phases]
+    # mark_phase is idempotent on the open phase, so four workers
+    # announcing the same phases yield exactly one of each.
+    assert names == ["increment", "meet"]
+    assert pm.unattributed_cycles == pm.phases[0].t0
+
+
+def test_phase_rollups_sum_to_totals():
+    machine = run_machine(mark_phases=True)
+    pm = machine.phase_metrics()
+    totals = pm.totals
+    assert sum(p.messages for p in pm.phases) == totals.messages
+    assert sum(p.flits for p in pm.phases) == totals.flits
+    summed_by_type = {}
+    summed_counters = {}
+    for p in pm.phases:
+        for k, v in p.msg_by_type.items():
+            summed_by_type[k] = summed_by_type.get(k, 0) + v
+        for k, v in p.node_counters.items():
+            summed_counters[k] = summed_counters.get(k, 0) + v
+    assert summed_by_type == {k: v for k, v in totals.msg_by_type.items() if v}
+    assert summed_counters == {k: v for k, v in totals.node_counters.items() if v}
+
+
+def test_metrics_is_a_view_over_phase_metrics():
+    machine = run_machine(mark_phases=True)
+    assert machine.metrics() == machine.phase_metrics().totals
+
+
+def test_phase_metrics_nondestructive():
+    machine = run_machine(mark_phases=True)
+    first = machine.phase_metrics()
+    second = machine.phase_metrics()
+    assert [p.to_json() for p in first.phases] == [p.to_json() for p in second.phases]
+    assert first.totals == second.totals
+
+
+def test_tracing_does_not_perturb_simulated_time():
+    plain = run_machine(seed=7).metrics()
+    traced = run_machine(obs=ObsParams(), seed=7).metrics()
+    assert traced.completion_time == plain.completion_time
+    assert traced.messages == plain.messages
+    assert traced.msg_by_type == plain.msg_by_type
+
+
+def test_fft_workload_marks_butterfly_phases():
+    cfg = MachineConfig(n_nodes=4, seed=1)
+    machine = Machine(cfg, protocol="primitives")
+    FFTWorkload(machine, FFTParams()).run()
+    pm = machine.phase_metrics()
+    pm.check_consistency()
+    assert [p.name for p in pm.phases] == ["butterfly-0", "butterfly-1"]
+    assert all(p.messages > 0 for p in pm.phases)
+
+
+def test_phase_lookup_and_missing_key():
+    machine = run_machine(mark_phases=True)
+    pm = machine.phase_metrics()
+    assert pm.phase("increment").name == "increment"
+    with pytest.raises(KeyError):
+        pm.phase("no-such-phase")
+
+
+def test_phase_metrics_json_roundtrip():
+    machine = run_machine(mark_phases=True)
+    pm = machine.phase_metrics()
+    doc = json.loads(json.dumps(pm.to_json()))
+    back = PhaseMetrics.from_json(doc)
+    assert back.totals == pm.totals
+    assert [p.to_json() for p in back.phases] == [p.to_json() for p in pm.phases]
+    assert back.unattributed_cycles == pm.unattributed_cycles
+    back.check_consistency()
+
+
+def test_check_consistency_rejects_bad_tiling():
+    pm = PhaseMetrics(phases=[PhaseStat("a", 0.0, 5.0)])
+    pm.totals.completion_time = 9.0
+    with pytest.raises(ValueError):
+        pm.check_consistency()
+    pm2 = PhaseMetrics(
+        phases=[PhaseStat("a", 0.0, 5.0), PhaseStat("b", 6.0, 9.0)]
+    )
+    pm2.totals.completion_time = 9.0
+    pm2.unattributed_cycles = 1.0
+    with pytest.raises(ValueError):
+        pm2.check_consistency()
+
+
+def test_phase_trace_events_emitted_when_bus_on():
+    machine = run_machine(obs=ObsParams(), mark_phases=True)
+    names = {e.name for e in machine.obs.events if e.cat == "phase"}
+    assert names == {"phase:increment", "phase:meet"}

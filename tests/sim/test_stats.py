@@ -26,6 +26,14 @@ def test_counter_total_and_merge():
     assert a.total() == 12
 
 
+def test_counter_merge_with_itself_doubles():
+    c = Counter()
+    c.add("x", 3)
+    c.add("y", 1)
+    c.merge(c)
+    assert c.as_dict() == {"x": 6, "y": 2}
+
+
 def test_tally_mean_variance():
     t = Tally()
     for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
@@ -81,6 +89,15 @@ def test_time_weighted_adjust():
     assert tw.average(10) == pytest.approx((0 * 5 + 3 * 5) / 10)
 
 
+def test_time_weighted_zero_elapsed_returns_current_level():
+    # Before any time passes the average degenerates to the level itself.
+    tw = TimeWeighted(start_time=5.0, level=3.0)
+    assert tw.average() == 3.0
+    assert tw.average(5.0) == 3.0
+    tw.set(5.0, 7.0)  # zero-width interval contributes no area
+    assert tw.average(5.0) == 7.0
+
+
 def test_time_weighted_rejects_time_travel():
     tw = TimeWeighted()
     tw.set(10, 1.0)
@@ -105,6 +122,17 @@ def test_histogram_fraction():
     for x in range(10):
         h.observe(x + 0.5)
     assert h.fraction_at_or_below(4.9) == pytest.approx(0.5)
+
+
+def test_histogram_boundary_values():
+    h = Histogram(0, 10, 5)
+    h.observe(0.0)  # exactly lo -> first bin, not underflow
+    h.observe(10.0)  # exactly hi -> overflow bin
+    assert h.bins[0] == 1
+    assert h.underflow == 0
+    assert h.overflow == 1
+    assert h.fraction_at_or_below(-0.1) == 0.0
+    assert h.fraction_at_or_below(100.0) == pytest.approx(0.5)
 
 
 def test_histogram_validation():

@@ -1,0 +1,68 @@
+"""RunMetrics JSON round-trip: the metrics document CI artifacts store."""
+
+import json
+
+import pytest
+
+from repro import Machine, MachineConfig, RunMetrics
+from repro.faults.plan import FaultSpec
+
+
+def test_roundtrip_preserves_every_field():
+    m = RunMetrics(
+        completion_time=123.5,
+        messages=42,
+        flits=99,
+        mean_net_latency=6.25,
+        msg_by_type={"LOCK_GRANT": 8, "DATA_BLOCK": 34},
+        node_counters={"compute_cycles": 1000},
+        retries=3,
+        timeouts=5,
+        timeout_cycles=1500,
+        faults={"fault.drops": 2},
+    )
+    doc = json.loads(json.dumps(m.to_json()))
+    assert RunMetrics.from_json(doc) == m
+
+
+def test_roundtrip_copies_dict_fields():
+    m = RunMetrics(msg_by_type={"A": 1})
+    doc = m.to_json()
+    doc["msg_by_type"]["A"] = 99
+    assert m.msg_by_type["A"] == 1  # to_json copied
+    back = RunMetrics.from_json(doc)
+    doc["msg_by_type"]["A"] = 7
+    assert back.msg_by_type["A"] == 99  # from_json copied
+
+
+def test_missing_keys_fall_back_to_defaults():
+    back = RunMetrics.from_json({"completion_time": 10.0})
+    assert back.completion_time == 10.0
+    assert back.messages == 0
+    assert back.faults == {}
+
+
+def test_unknown_keys_are_rejected():
+    with pytest.raises(ValueError, match="unknown RunMetrics fields"):
+        RunMetrics.from_json({"completion_time": 1.0, "typo_field": 2})
+
+
+def test_faulty_run_metrics_roundtrip():
+    """Retry/timeout/fault tallies survive the trip (the PR 2 fields)."""
+    cfg = MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2, seed=7)
+    spec = FaultSpec(drop_prob=0.05, dup_prob=0.02, seed=11)
+    machine = Machine(cfg, protocol="wbi", faults=spec)
+    counter = machine.alloc_word()
+
+    def worker(proc):
+        for _ in range(3):
+            yield from proc.rmw(counter, "fetch_add", 1)
+            yield from proc.compute(20)
+
+    for i in range(4):
+        machine.spawn(worker(machine.processor(i)), name=f"w{i}")
+    machine.run_all()
+    m = machine.metrics()
+    assert sum(m.faults.values()) > 0  # the lossy fabric actually lost things
+    back = RunMetrics.from_json(json.loads(json.dumps(m.to_json())))
+    assert back == m
