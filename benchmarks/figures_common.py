@@ -1,24 +1,19 @@
-"""Shared sweep machinery for the Figure 4-7 benchmarks."""
+"""Shared sweep machinery for the Figure 4-7 benchmarks.
 
-from repro import Machine, MachineConfig
-from repro.workloads import (
-    GRAIN_SIZES,
-    SyncModelParams,
-    SyncModelWorkload,
-    WorkQueueParams,
-    WorkQueueWorkload,
-)
+The point function itself lives in :func:`repro.experiments.fig_point`
+(top-level and JSON-in/JSON-out, so the parallel sweep runner's workers can
+resolve it by dotted path); this module keeps the benchmark-facing helpers.
+``sweep`` dispatches through :mod:`repro.sweep`, so the figure benchmarks
+get the same parallelism and on-disk result cache as the report generator —
+set ``REPRO_SWEEP_JOBS``/``REPRO_SWEEP_CACHE`` to tune.
+"""
+
+import os
+
+from repro.experiments import FIG45_SERIES, fig_point
+from repro.sweep import SweepTask, run_sweep
 
 __all__ = ["run_point", "sweep", "FIG45_SERIES"]
-
-#: Series of Figures 4 and 5: (label, workload model, lock scheme).
-FIG45_SERIES = (
-    ("WBI", "sync", "tts"),
-    ("CBL", "sync", "cbl"),
-    ("Q-WBI", "queue", "tts"),
-    ("Q-backoff", "queue", "tts_backoff"),
-    ("Q-CBL", "queue", "cbl"),
-)
 
 
 def run_point(
@@ -31,33 +26,29 @@ def run_point(
     seed: int = 1,
 ):
     """One (n, series) sample; returns completion time in cycles."""
-    protocol = "primitives" if lock_scheme == "cbl" else "wbi"
-    cfg = MachineConfig(n_nodes=n, seed=seed)
-    machine = Machine(cfg, protocol=protocol)
-    grain_size = GRAIN_SIZES[grain]
-    if model == "sync":
-        wl = SyncModelWorkload(
-            machine,
-            SyncModelParams(grain_size=grain_size, tasks_per_node=tasks_per_node),
-            lock_scheme=lock_scheme,
-            consistency=consistency,
-        )
-    elif model == "queue":
-        wl = WorkQueueWorkload(
-            machine,
-            WorkQueueParams(n_tasks=tasks_per_node * n, grain_size=grain_size),
-            lock_scheme=lock_scheme,
-            consistency=consistency,
-        )
-    else:
-        raise ValueError(f"unknown model {model!r}")
-    res = wl.run()
-    return res.completion_time
+    return fig_point(
+        n, model, lock_scheme, grain,
+        consistency=consistency, tasks_per_node=tasks_per_node, seed=seed,
+    )
 
 
-def sweep(ns, series, grain, **kw):
+def sweep(ns, series, grain, jobs=None, cache_dir=None, **kw):
     """completion[label][n] for every series over the node counts."""
+    tasks = [
+        SweepTask(
+            "repro.experiments:fig_point",
+            {"n": n, "model": model, "scheme": scheme, "grain": grain, **kw},
+        )
+        for _label, model, scheme in series
+        for n in ns
+    ]
+    use_cache = cache_dir is not None or "REPRO_SWEEP_CACHE" in os.environ
+    flat = run_sweep(tasks, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     out = {}
-    for label, model, scheme in series:
-        out[label] = {n: run_point(n, model, scheme, grain, **kw) for n in ns}
+    i = 0
+    for label, _model, _scheme in series:
+        out[label] = {}
+        for n in ns:
+            out[label][n] = flat[i]
+            i += 1
     return out

@@ -8,7 +8,24 @@ informationally, never as a gate — the overhead of running the same
 workload with the trace bus enabled, so a tracing-cost regression shows
 up in the CI artifact history.
 
+The PR4 section additionally measures the kernel fast path and the sweep
+runner, writing before/after numbers to ``BENCH_PR4.json``:
+
+* **kernel microbenchmark** — events/sec of the zero-delay-lane discipline
+  vs. the heap-only discipline on a large calendar of message-style
+  processes (the regime protocol simulations live in);
+* **machine workload** — the same protocol smoke, both disciplines;
+* **sweep** — wall-clock of a small figure sweep cold vs. re-run against
+  the on-disk result cache.
+
+The gates are *ratios* measured in the same process on the same machine
+(fast vs. heap, cold vs. cached), so they are load- and hardware-
+independent; ``--check-floors`` re-reads the JSON and fails CI when a
+ratio regresses below its pinned floor.
+
 Run:  python benchmarks/perf_smoke.py [--out BENCH_PR3.json]
+                                      [--pr4-out BENCH_PR4.json]
+      python benchmarks/perf_smoke.py --check-floors BENCH_PR4.json
 """
 
 from __future__ import annotations
@@ -16,7 +33,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -28,11 +47,15 @@ ROUNDS = 12
 REPEATS = 3
 PROTOCOLS = ("wbi", "primitives", "writeupdate")
 
+# Pinned ratio floors for the PR4 gates (see module docstring).
+KERNEL_SPEEDUP_FLOOR = 1.5
+SWEEP_CACHED_SPEEDUP_FLOOR = 3.0
 
-def run_once(protocol: str, obs: ObsParams | None = None):
+
+def run_once(protocol: str, obs: ObsParams | None = None, fast_path: bool | None = None):
     """One run; returns (completion_cycles, wall_seconds, sim_events)."""
     cfg = MachineConfig(n_nodes=N_NODES, seed=5, network="omega", obs=obs)
-    machine = Machine(cfg, protocol=protocol)
+    machine = Machine(cfg, protocol=protocol, fast_path=fast_path)
     bar = HWBarrier(machine, n=N_NODES)
     slots = [machine.alloc_word() for _ in range(N_NODES)]
     ctr = machine.alloc_word()
@@ -54,11 +77,11 @@ def run_once(protocol: str, obs: ObsParams | None = None):
     return machine.metrics().completion_time, wall, machine.sim.events_processed
 
 
-def measure(protocol: str, obs: ObsParams | None = None) -> dict:
+def measure(protocol: str, obs: ObsParams | None = None, fast_path: bool | None = None) -> dict:
     """Best-of-REPEATS timing for one configuration."""
     best = None
     for _ in range(REPEATS):
-        cycles, wall, events = run_once(protocol, obs=obs)
+        cycles, wall, events = run_once(protocol, obs=obs, fast_path=fast_path)
         if best is None or wall < best[1]:
             best = (cycles, wall, events)
     cycles, wall, events = best
@@ -70,10 +93,181 @@ def measure(protocol: str, obs: ObsParams | None = None) -> dict:
     }
 
 
+# --------------------------------------------------------------- PR4 section
+
+
+def kernel_microbench(
+    fast: bool, ballast: int = 2048, burst: int = 64, rounds: int = 500
+) -> dict:
+    """Pure-kernel events/sec in the regime the zero-delay lane targets:
+    bursts of same-instant events processed while the calendar holds a deep
+    backlog of future timeouts (``ballast`` — outstanding protocol timeout
+    guards, in a real run).  Every zero-delay push/pop the heap discipline
+    performs is O(log ballast); the lane makes them O(1)."""
+    from repro.sim.core import Simulator
+
+    def driver(sim):
+        for _ in range(rounds):
+            for _ in range(burst):
+                sim.timeout(0)
+            yield sim.timeout(1)
+
+    best = None
+    for _ in range(REPEATS):
+        sim = Simulator(fast_path=fast)
+        for i in range(ballast):
+            sim.timeout(10**9 + i)
+        sim.process(driver(sim))
+        t0 = time.perf_counter()
+        sim.run(until=rounds + 2)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, sim.events_processed)
+    wall, events = best
+    return {
+        "ballast": ballast,
+        "burst": burst,
+        "rounds": rounds,
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def sweep_bench() -> dict:
+    """The full ``python -m repro.experiments`` sweep three ways: serial
+    cold (the pre-PR driver), parallel cold against a fresh cache, and a
+    cached re-run.  The gate is serial-cold vs. cached (load-independent);
+    the parallel-cold number records what the worker pool alone buys on
+    this runner's core count."""
+    import io
+
+    from repro.experiments import run_report
+    from repro.sweep import SweepStats, default_jobs
+
+    def timed(**kw):
+        stats = SweepStats()
+        t0 = time.perf_counter()
+        run_report(io.StringIO(), stats=stats, **kw)
+        return time.perf_counter() - t0, stats
+
+    cache = tempfile.mkdtemp(prefix="bench-sweep-cache-")
+    try:
+        serial_wall, serial = timed(jobs=1, use_cache=False)
+        parallel_wall, parallel = timed(jobs=default_jobs(), cache_dir=cache)
+        cached_wall, cached = timed(jobs=default_jobs(), cache_dir=cache)
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+    assert cached.hits == cached.total, "warm re-run recomputed points"
+    return {
+        "points": serial.total,
+        "jobs": parallel.jobs,
+        "serial_cold_seconds": serial_wall,
+        "parallel_cold_seconds": parallel_wall,
+        "cached_seconds": cached_wall,
+        "parallel_speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "cached_speedup": serial_wall / cached_wall if cached_wall > 0 else float("inf"),
+    }
+
+
+def run_pr4(out_path: str) -> dict:
+    """Measure the PR4 before/after set and write ``BENCH_PR4.json``."""
+    kb_heap = kernel_microbench(fast=False)
+    kb_fast = kernel_microbench(fast=True)
+    kernel_speedup = (
+        kb_fast["events_per_sec"] / kb_heap["events_per_sec"]
+        if kb_heap["events_per_sec"] > 0 else 0.0
+    )
+    mw_heap = measure("primitives", fast_path=False)
+    mw_fast = measure("primitives", fast_path=True)
+    machine_speedup = (
+        mw_fast["events_per_sec"] / mw_heap["events_per_sec"]
+        if mw_heap["events_per_sec"] > 0 else 0.0
+    )
+    sweep = sweep_bench()
+    doc = {
+        "kernel_microbench": {
+            "before_heap": kb_heap,
+            "after_fast": kb_fast,
+            "speedup": kernel_speedup,
+        },
+        "machine_workload": {
+            "before_heap": {k: mw_heap[k] for k in ("wall_seconds", "events_per_sec")},
+            "after_fast": {k: mw_fast[k] for k in ("wall_seconds", "events_per_sec")},
+            "speedup": machine_speedup,
+        },
+        "sweep": sweep,
+        "floors": {
+            "kernel_speedup_min": KERNEL_SPEEDUP_FLOOR,
+            "sweep_cached_speedup_min": SWEEP_CACHED_SPEEDUP_FLOOR,
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(
+        f"kernel fast path: {kb_fast['events_per_sec']:,.0f} ev/s vs "
+        f"{kb_heap['events_per_sec']:,.0f} heap = {kernel_speedup:.2f}x "
+        f"(floor {KERNEL_SPEEDUP_FLOOR}x)"
+    )
+    print(
+        f"machine workload: {machine_speedup:.2f}x events/sec (informational)"
+    )
+    print(
+        f"sweep ({sweep['points']} points): serial cold "
+        f"{sweep['serial_cold_seconds']:.1f}s, parallel cold "
+        f"{sweep['parallel_cold_seconds']:.1f}s ({sweep['jobs']} jobs, "
+        f"{sweep['parallel_speedup']:.2f}x), cached "
+        f"{sweep['cached_seconds']:.2f}s ({sweep['cached_speedup']:.1f}x, "
+        f"floor {SWEEP_CACHED_SPEEDUP_FLOOR}x)"
+    )
+    print(f"wrote {out_path}")
+    return doc
+
+
+def check_floors(path: str) -> int:
+    """CI gate: re-read ``BENCH_PR4.json`` and fail on a regressed ratio."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    floors = doc["floors"]
+    failures = []
+    k = doc["kernel_microbench"]["speedup"]
+    if k < floors["kernel_speedup_min"]:
+        failures.append(
+            f"kernel fast-path speedup {k:.2f}x below floor "
+            f"{floors['kernel_speedup_min']}x"
+        )
+    s = doc["sweep"]["cached_speedup"]
+    if s < floors["sweep_cached_speedup_min"]:
+        failures.append(
+            f"sweep cached speedup {s:.1f}x below floor "
+            f"{floors['sweep_cached_speedup_min']}x"
+        )
+    if failures:
+        for f in failures:
+            print(f"FLOOR VIOLATION: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"floors ok: kernel {k:.2f}x >= {floors['kernel_speedup_min']}x, "
+        f"sweep cached {s:.1f}x >= {floors['sweep_cached_speedup_min']}x"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--out", default="BENCH_PR3.json", help="output JSON path")
+    ap.add_argument(
+        "--pr4-out", default="BENCH_PR4.json",
+        help="fast-path/sweep benchmark output path ('' to skip)",
+    )
+    ap.add_argument(
+        "--check-floors", metavar="BENCH_PR4.json", default=None,
+        help="validate an existing PR4 benchmark file against its floors and exit",
+    )
     args = ap.parse_args(argv)
+
+    if args.check_floors is not None:
+        return check_floors(args.check_floors)
 
     entries = [measure(p) for p in PROTOCOLS]
     traced = [measure(p, obs=ObsParams()) for p in PROTOCOLS]
@@ -95,6 +289,9 @@ def main(argv=None) -> int:
     with open(args.out, "w") as fh:
         json.dump(entries, fh, indent=2)
     print(f"wrote {args.out} ({len(entries)} entries)")
+
+    if args.pr4_out:
+        run_pr4(args.pr4_out)
     return 0
 
 

@@ -35,10 +35,17 @@ class SetAssocCache:
         self.n_sets = n_sets
         self.assoc = assoc
         self.words_per_block = words_per_block
-        self._sets: List[List[CacheLine]] = [
-            [CacheLine(words_per_block) for _ in range(assoc)] for _ in range(n_sets)
-        ]
+        # Sets are materialized on first touch: a Table-4 machine has
+        # n_nodes x 1024 lines, and eagerly building them dominated machine
+        # construction time while a typical sweep point touches a fraction.
+        self._sets: List[Optional[List[CacheLine]]] = [None] * n_sets
         self.stats = StatSet()
+
+    def _set(self, idx: int) -> List[CacheLine]:
+        s = self._sets[idx]
+        if s is None:
+            s = self._sets[idx] = [CacheLine(self.words_per_block) for _ in range(self.assoc)]
+        return s
 
     # -- geometry ----------------------------------------------------------
     @property
@@ -51,27 +58,31 @@ class SetAssocCache:
     # -- lookup ----------------------------------------------------------
     def lookup(self, block: int, touch: bool = True, now: float = 0.0) -> Optional[CacheLine]:
         """The valid line holding ``block``, or None; updates LRU on hit."""
-        for line in self._sets[self.set_index(block)]:
-            if line.valid and line.block == block:
-                if touch:
-                    line.last_used = now
-                self.stats.counters.add("hits")
-                return line
+        s = self._sets[block & (self.n_sets - 1)]
+        if s is not None:
+            for line in s:
+                if line.valid and line.block == block:
+                    if touch:
+                        line.last_used = now
+                    self.stats.counters.add("hits")
+                    return line
         self.stats.counters.add("misses")
         return None
 
     def peek(self, block: int) -> Optional[CacheLine]:
         """Lookup without touching LRU or stats."""
-        for line in self._sets[self.set_index(block)]:
-            if line.valid and line.block == block:
-                return line
+        s = self._sets[block & (self.n_sets - 1)]
+        if s is not None:
+            for line in s:
+                if line.valid and line.block == block:
+                    return line
         return None
 
     # -- allocation ----------------------------------------------------------
     def victim_for(self, block: int) -> Optional[CacheLine]:
         """The line to (re)use for ``block``: an invalid way, else the LRU
         non-pinned way.  ``None`` if every way is pinned to a queue."""
-        candidates = self._sets[self.set_index(block)]
+        candidates = self._set(self.set_index(block))
         best: Optional[CacheLine] = None
         for line in candidates:
             if not line.valid:
@@ -122,7 +133,7 @@ class SetAssocCache:
         return line
 
     def valid_lines(self) -> List[CacheLine]:
-        return [line for s in self._sets for line in s if line.valid]
+        return [line for s in self._sets if s is not None for line in s if line.valid]
 
     @property
     def hit_rate(self) -> float:

@@ -78,7 +78,9 @@ class Controller:
         """Register interest in a future reply identified by ``key``."""
         if key in self._pending:
             raise RuntimeError(f"duplicate pending reply key {key} at node {self.node.node_id}")
-        ev = Event(self.sim, name=f"expect{key}")
+        # Event names only ever surface through the trace bus and reprs, so
+        # skip the per-miss f-string on untraced runs (the common case).
+        ev = Event(self.sim, name=f"expect{key}" if self.obs is not None else "")
         self._pending[key] = ev
         return ev
 
@@ -273,7 +275,7 @@ class AckCollector:
     __slots__ = ("event", "remaining", "tolerant")
 
     def __init__(self, sim, n: int, tolerant: bool = False):
-        self.event = Event(sim, name=f"acks({n})")
+        self.event = Event(sim, name=f"acks({n})" if sim._obs is not None else "")
         self.remaining = n
         self.tolerant = tolerant
         if n == 0:
@@ -301,7 +303,9 @@ class SourceAckCollector:
 
     def __init__(self, sim, targets: Iterable[int]):
         self.waiting = set(targets)
-        self.event = Event(sim, name=f"srcacks({len(self.waiting)})")
+        self.event = Event(
+            sim, name=f"srcacks({len(self.waiting)})" if sim._obs is not None else ""
+        )
         if not self.waiting:
             self.event.succeed()
 

@@ -226,7 +226,7 @@ class PrimitivesCacheController(Controller):
 
             candidates = [
                 l
-                for l in cache._sets[cache.set_index(block)]
+                for l in cache._set(cache.set_index(block))
                 if l.valid and l.lock is LockMode.NONE
             ]
             if not candidates:  # pragma: no cover - lock lines live in lock cache

@@ -3,21 +3,31 @@
 Usage::
 
     python -m repro.experiments [--quick] [-o EXPERIMENTS-report.md]
+        [--jobs N] [--cache-dir DIR] [--no-cache]
 
 Produces a markdown report with, for each experiment, the paper's claim
 and this reproduction's measurement.  The benchmark suite
 (``pytest benchmarks/ --benchmark-only``) asserts the same shapes; this
 module is the human-readable one-shot version.
+
+Every simulated data point is a pure function of its parameters, so the
+whole campaign is dispatched through :mod:`repro.sweep`: points run in
+parallel across ``--jobs`` workers and land in an on-disk result cache, so
+a re-run after editing one workload recomputes only the affected points.
+The report itself is byte-identical whatever the job count or cache state
+(modulo the wall-clock footer).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import IO, List
+from typing import IO, Any, Dict, List, Optional, Tuple
 
 from .analysis import TimeParams, TransactionCosts, table2, table3
+from .sweep import SweepStats, SweepTask, run_sweep
 from .system.config import MachineConfig
 from .system.machine import Machine
 from .workloads import (
@@ -30,8 +40,86 @@ from .workloads import (
     run_linsolver,
 )
 
-__all__ = ["run_report"]
+__all__ = ["run_report", "fig_point", "table2_point", "table3_point", "fft_point"]
 
+
+# --------------------------------------------------------------------------
+# Sweep point functions — top-level and JSON-in/JSON-out, so the parallel
+# runner's workers can resolve them by dotted path and cache their results.
+# --------------------------------------------------------------------------
+
+def fig_point(
+    n: int,
+    model: str,
+    scheme: str,
+    grain: str,
+    consistency: str = "sc",
+    tasks_per_node: int = 4,
+    seed: int = 1,
+) -> float:
+    """One Figure 4-7 sample; returns completion time in cycles."""
+    protocol = "primitives" if scheme == "cbl" else "wbi"
+    machine = Machine(MachineConfig(n_nodes=n, seed=seed), protocol=protocol)
+    g = GRAIN_SIZES[grain]
+    if model == "sync":
+        wl = SyncModelWorkload(
+            machine,
+            SyncModelParams(grain_size=g, tasks_per_node=tasks_per_node),
+            scheme,
+            consistency,
+        )
+    elif model == "queue":
+        wl = WorkQueueWorkload(
+            machine,
+            WorkQueueParams(n_tasks=tasks_per_node * n, grain_size=g),
+            scheme,
+            consistency,
+        )
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    return wl.run().completion_time
+
+
+def table2_point(n: int, scheme: str) -> Dict[str, float]:
+    """One simulated Table 2 cell: linear solver completion + flits/iter."""
+    r = run_linsolver(n, scheme, iterations=4, cache_blocks=256, cache_assoc=2)
+    return {
+        "completion": r.completion_time,
+        "flits_per_iter": r.extra["per_iteration"]["flits"],
+    }
+
+
+def table3_point(n: int, scheme: str) -> Dict[str, float]:
+    """One simulated Table 3 cell: n contenders on one lock, t_cs=50."""
+    from .sync.base import CBLLock
+    from .sync.swlock import TTSLock
+
+    m = Machine(
+        MachineConfig(n_nodes=n, cache_blocks=256, cache_assoc=2, seed=3),
+        protocol="primitives" if scheme == "cbl" else "wbi",
+    )
+    lock = CBLLock(m) if scheme == "cbl" else TTSLock(m)
+
+    def w(p, lock=lock):
+        yield from p.acquire(lock)
+        yield from p.compute(50)
+        yield from p.release(lock)
+
+    for i in range(n):
+        m.spawn(w(m.processor(i)))
+    m.run()
+    return {"time": m.sim.now, "messages": m.net.message_count}
+
+
+def fft_point(selective: bool) -> int:
+    """FFT RESET-UPDATE ablation: total update messages."""
+    r = run_fft(8, selective=selective, cache_blocks=256, cache_assoc=2)
+    return r.extra["ru_updates"]
+
+
+# --------------------------------------------------------------------------
+# Report rendering
+# --------------------------------------------------------------------------
 
 def _md_table(out: IO[str], headers: List[str], rows: List[List]) -> None:
     out.write("| " + " | ".join(str(h) for h in headers) + " |\n")
@@ -41,22 +129,65 @@ def _md_table(out: IO[str], headers: List[str], rows: List[List]) -> None:
     out.write("\n")
 
 
-def _fig_point(n: int, model: str, scheme: str, grain: str, consistency: str = "sc"):
-    protocol = "primitives" if scheme == "cbl" else "wbi"
-    machine = Machine(MachineConfig(n_nodes=n, seed=1), protocol=protocol)
-    g = GRAIN_SIZES[grain]
-    if model == "sync":
-        wl = SyncModelWorkload(
-            machine, SyncModelParams(grain_size=g, tasks_per_node=4), scheme, consistency
-        )
-    else:
-        wl = WorkQueueWorkload(
-            machine, WorkQueueParams(n_tasks=4 * n, grain_size=g), scheme, consistency
-        )
-    return wl.run().completion_time
+_MODULE = "repro.experiments"
+
+#: Series of Figures 4 and 5: (label, workload model, lock scheme).
+FIG45_SERIES = (
+    ("WBI", "sync", "tts"),
+    ("CBL", "sync", "cbl"),
+    ("Q-WBI", "queue", "tts"),
+    ("Q-backoff", "queue", "tts_backoff"),
+    ("Q-CBL", "queue", "cbl"),
+)
 
 
-def report_table2(out: IO[str], ns) -> None:
+def _plan(quick: bool) -> Tuple[Dict[Tuple, SweepTask], dict]:
+    """Every simulated point of the report, keyed for later lookup."""
+    ns = (2, 4, 8, 16) if quick else (2, 4, 8, 16, 32)
+    shape = {
+        "ns": ns,
+        "t2_ns": ns[: 3 if quick else 4],
+        "t3_ns": (4, 8, 16),
+    }
+    tasks: Dict[Tuple, SweepTask] = {}
+    for nn in shape["t2_ns"]:
+        for s in ("read-update", "inv-I", "inv-II"):
+            tasks[("t2", nn, s)] = SweepTask(
+                f"{_MODULE}:table2_point", {"n": nn, "scheme": s}
+            )
+    for nn in shape["t3_ns"]:
+        for s in ("cbl", "wbi"):
+            tasks[("t3", nn, s)] = SweepTask(
+                f"{_MODULE}:table3_point", {"n": nn, "scheme": s}
+            )
+    for grain in ("medium", "coarse"):
+        for _label, model, scheme in FIG45_SERIES:
+            for n in ns:
+                tasks[("fig", n, model, scheme, grain, "sc")] = SweepTask(
+                    f"{_MODULE}:fig_point",
+                    {"n": n, "model": model, "scheme": scheme, "grain": grain},
+                )
+    for grain in ("fine", "medium"):
+        for c in ("sc", "bc"):
+            for n in ns:
+                tasks[("fig", n, "queue", "cbl", grain, c)] = SweepTask(
+                    f"{_MODULE}:fig_point",
+                    {
+                        "n": n,
+                        "model": "queue",
+                        "scheme": "cbl",
+                        "grain": grain,
+                        "consistency": c,
+                    },
+                )
+    for selective in (True, False):
+        tasks[("fft", selective)] = SweepTask(
+            f"{_MODULE}:fft_point", {"selective": selective}
+        )
+    return tasks, shape
+
+
+def report_table2(out: IO[str], ns, res) -> None:
     out.write("## Table 2 — linear solver coherence cost\n\n")
     out.write(
         "Paper: read-update pays nothing on reads (updates are pushed) and its\n"
@@ -79,14 +210,14 @@ def report_table2(out: IO[str], ns) -> None:
     rows = []
     for nn in ns:
         for s in ("read-update", "inv-I", "inv-II"):
-            r = run_linsolver(nn, s, iterations=4, cache_blocks=256, cache_assoc=2)
+            r = res[("t2", nn, s)]
             rows.append(
-                [nn, s, f"{r.completion_time:.0f}", f"{r.extra['per_iteration']['flits']:.0f}"]
+                [nn, s, f"{r['completion']:.0f}", f"{r['flits_per_iter']:.0f}"]
             )
     _md_table(out, ["n", "scheme", "completion (cycles)", "flits/iter"], rows)
 
 
-def report_table3(out: IO[str], ns) -> None:
+def report_table3(out: IO[str], ns, res) -> None:
     out.write("## Table 3 — synchronization scenario costs\n\n")
     out.write(
         "Paper: under full contention CBL is O(n) in messages and time; WBI is\n"
@@ -105,38 +236,15 @@ def report_table3(out: IO[str], ns) -> None:
         ],
     )
     out.write("**Simulated parallel lock (n contenders, t_cs=50):**\n\n")
-    from .sync.base import CBLLock
-    from .sync.swlock import TTSLock
-
     rows = []
     for nn in ns:
         for scheme in ("cbl", "wbi"):
-            m = Machine(
-                MachineConfig(n_nodes=nn, cache_blocks=256, cache_assoc=2, seed=3),
-                protocol="primitives" if scheme == "cbl" else "wbi",
-            )
-            lock = CBLLock(m) if scheme == "cbl" else TTSLock(m)
-
-            def w(p, lock=lock):
-                yield from p.acquire(lock)
-                yield from p.compute(50)
-                yield from p.release(lock)
-
-            for i in range(nn):
-                m.spawn(w(m.processor(i)))
-            m.run()
-            rows.append([nn, scheme, f"{m.sim.now:.0f}", m.net.message_count])
+            r = res[("t3", nn, scheme)]
+            rows.append([nn, scheme, f"{r['time']:.0f}", r["messages"]])
     _md_table(out, ["n", "scheme", "time (cycles)", "messages"], rows)
 
 
-def report_figures_45(out: IO[str], ns) -> None:
-    series = (
-        ("WBI", "sync", "tts"),
-        ("CBL", "sync", "cbl"),
-        ("Q-WBI", "queue", "tts"),
-        ("Q-backoff", "queue", "tts_backoff"),
-        ("Q-CBL", "queue", "cbl"),
-    )
+def report_figures_45(out: IO[str], ns, res) -> None:
     for fig, grain in (("Figure 4", "medium"), ("Figure 5", "coarse")):
         out.write(f"## {fig} — completion time vs processors ({grain} grain)\n\n")
         out.write(
@@ -144,14 +252,15 @@ def report_figures_45(out: IO[str], ns) -> None:
             "collapses at scale, backoff helps but does not scale, CBL scales.\n\n"
         )
         rows = []
-        for label, model, scheme in series:
+        for label, model, scheme in FIG45_SERIES:
             rows.append(
-                [label] + [f"{_fig_point(n, model, scheme, grain):.0f}" for n in ns]
+                [label]
+                + [f"{res[('fig', n, model, scheme, grain, 'sc')]:.0f}" for n in ns]
             )
         _md_table(out, ["series (cycles)"] + [f"n={n}" for n in ns], rows)
 
 
-def report_figures_67(out: IO[str], ns) -> None:
+def report_figures_67(out: IO[str], ns, res) -> None:
     for fig, grain in (("Figure 6", "fine"), ("Figure 7", "medium")):
         out.write(f"## {fig} — buffered vs sequential consistency ({grain} grain)\n\n")
         out.write(
@@ -161,7 +270,7 @@ def report_figures_67(out: IO[str], ns) -> None:
         rows = []
         series = {}
         for label, c in (("SC-CBL", "sc"), ("BC-CBL", "bc")):
-            series[label] = {n: _fig_point(n, "queue", "cbl", grain, c) for n in ns}
+            series[label] = {n: res[("fig", n, "queue", "cbl", grain, c)] for n in ns}
             rows.append([label] + [f"{series[label][n]:.0f}" for n in ns])
         rows.append(
             ["improvement %"]
@@ -170,23 +279,43 @@ def report_figures_67(out: IO[str], ns) -> None:
         _md_table(out, ["series (cycles)"] + [f"n={n}" for n in ns], rows)
 
 
-def report_extensions(out: IO[str]) -> None:
+def report_extensions(out: IO[str], res) -> None:
     out.write("## Extensions / ablations\n\n")
-    sel = run_fft(8, selective=True, cache_blocks=256, cache_assoc=2)
-    acc = run_fft(8, selective=False, cache_blocks=256, cache_assoc=2)
     _md_table(
         out,
         ["experiment", "value"],
         [
-            ["FFT selective RESET-UPDATE: update msgs", sel.extra["ru_updates"]],
-            ["FFT accumulate (never reset): update msgs", acc.extra["ru_updates"]],
+            ["FFT selective RESET-UPDATE: update msgs", res[("fft", True)]],
+            ["FFT accumulate (never reset): update msgs", res[("fft", False)]],
         ],
     )
 
 
-def run_report(out: IO[str], quick: bool = False) -> None:
-    ns = (2, 4, 8, 16) if quick else (2, 4, 8, 16, 32)
+def run_report(
+    out: IO[str],
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = False,
+    stats: Optional[SweepStats] = None,
+) -> None:
+    """Generate the full report; simulated points go through the sweep runner.
+
+    Caching is opt-in here (``use_cache=True`` or the CLI's ``--cache-dir``):
+    a report regeneration is usually *meant* to re-measure.
+    """
     t0 = time.time()
+    tasks, shape = _plan(quick)
+    keys = list(tasks)
+    values = run_sweep(
+        [tasks[k] for k in keys],
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache or cache_dir is not None,
+        stats=stats,
+    )
+    res: Dict[Tuple, Any] = dict(zip(keys, values))
+    ns = shape["ns"]
     out.write("# Reproduction report — Lee & Ramachandran, SPAA 1991\n\n")
     out.write(
         "Generated by `python -m repro.experiments`"
@@ -194,11 +323,11 @@ def run_report(out: IO[str], quick: bool = False) -> None:
         + ".  Absolute numbers are this simulator's cycles, not the paper's\n"
         "testbed; the claims being checked are the *shapes*.\n\n"
     )
-    report_table2(out, ns[: 3 if quick else 4])
-    report_table3(out, (4, 8, 16))
-    report_figures_45(out, ns)
-    report_figures_67(out, ns)
-    report_extensions(out)
+    report_table2(out, shape["t2_ns"], res)
+    report_table3(out, shape["t3_ns"], res)
+    report_figures_45(out, ns, res)
+    report_figures_67(out, ns, res)
+    report_extensions(out, res)
     out.write(f"\n_Total generation time: {time.time() - t0:.1f}s wall-clock._\n")
 
 
@@ -206,13 +335,38 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="smaller sweeps")
     ap.add_argument("-o", "--output", default="-", help="output file (default stdout)")
+    ap.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel workers (default: REPRO_SWEEP_JOBS or cpu count)",
+    )
+    ap.add_argument(
+        "--cache-dir", default=None,
+        help="cache sweep results in DIR (reused on re-runs)",
+    )
+    ap.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point even if --cache-dir has results",
+    )
     args = ap.parse_args(argv)
+    stats = SweepStats()
+    kw = dict(
+        quick=args.quick,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=(args.cache_dir is not None or "REPRO_SWEEP_CACHE" in os.environ)
+        and not args.no_cache,
+        stats=stats,
+    )
     if args.output == "-":
-        run_report(sys.stdout, quick=args.quick)
+        run_report(sys.stdout, **kw)
     else:
         with open(args.output, "w") as f:
-            run_report(f, quick=args.quick)
+            run_report(f, **kw)
         print(f"wrote {args.output}")
+        print(
+            f"sweep: {stats.total} points, {stats.hits} cached, "
+            f"{stats.computed} computed on {stats.jobs} worker(s)"
+        )
     return 0
 
 

@@ -53,6 +53,13 @@ class HangDiagnosis:
     dropped: List[str] = field(default_factory=list)
     retries: int = 0
     timeouts: int = 0
+    #: Lazily-canceled calendar entries still parked on the kernel's heap.
+    #: Distinguishes a genuinely quiet calendar from one stuffed with dead
+    #: retry timers — a high count alongside ``pending_live == 0`` is the
+    #: signature of a retry-exhausted wedge.
+    canceled_pending: int = 0
+    #: Scheduled-and-not-canceled calendar entries at diagnosis time.
+    pending_live: int = 0
     blame: Set[str] = field(default_factory=set)
     #: Last trace events touching the blamed nodes/blocks (whole recent
     #: tail if nothing matches); empty when the trace bus was disabled.
@@ -77,6 +84,8 @@ class HangDiagnosis:
             "dropped": list(self.dropped),
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "canceled_pending": self.canceled_pending,
+            "pending_live": self.pending_live,
             "blame": sorted(self.blame),
             "trace_tail": [dict(ev) for ev in self.trace_tail],
         }
@@ -87,6 +96,8 @@ class HangDiagnosis:
             f"HangDiagnosis: {self.reason} at t={self.time}"
             + (f" (protocol={self.protocol})" if self.protocol else ""),
             f"  retries={self.retries} timeouts={self.timeouts}",
+            f"  calendar: {self.pending_live} live, "
+            f"{self.canceled_pending} canceled-pending",
         ]
         if self.blame:
             lines.append("  blame:")
@@ -127,6 +138,8 @@ class HangDiagnosis:
 def diagnose_machine(machine: "Machine", reason: str) -> HangDiagnosis:
     """Walk ``machine`` and build the structured hang snapshot."""
     d = HangDiagnosis(reason=reason, time=machine.sim.now, protocol=machine.protocol)
+    d.canceled_pending = machine.sim.canceled_pending
+    d.pending_live = machine.sim.pending_live()
     for proc in machine._procs:
         if proc.is_alive:
             d.alive_processes.append(proc.name or repr(proc))

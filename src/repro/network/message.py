@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Any, Dict
 
-__all__ = ["MessageType", "Message", "SizeClass", "flit_size"]
+__all__ = ["MessageType", "Message", "SizeClass", "flit_size", "flit_table"]
 
 
 class SizeClass(Enum):
@@ -165,6 +165,15 @@ def flit_size(size_class: SizeClass, words_per_block: int) -> int:
     if size_class is SizeClass.WORD:
         return 2
     return 1  # CONTROL and INVALIDATION
+
+
+def flit_table(words_per_block: int) -> Dict[MessageType, int]:
+    """Precomputed ``mtype -> flits`` map for a fixed block size.
+
+    Interconnects build this once so the per-message send path is a single
+    dict lookup instead of two enum property chases.
+    """
+    return {mt: flit_size(_SIZE_CLASS[mt], words_per_block) for mt in MessageType}
 
 
 @dataclass(slots=True)

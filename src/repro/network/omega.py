@@ -42,11 +42,18 @@ class OmegaNetwork(Interconnect):
         self._wire_busy_time: List[List[float]] = [
             [0.0] * n_nodes for _ in range(self.stages)
         ]
+        # Destination-tag routes are static per (src, dst); memoize them so
+        # the per-message cost is one dict hit, not a per-stage bit dance.
+        self._routes: Dict[tuple, List[int]] = {}
+        self._queueing = self.stats.tally("queueing")
 
     def _route(self, msg: Message, flits: int) -> None:
         service = self.params.switch_cycle * flits
         t = self.sim.now
-        wires = omega_route(msg.src, msg.dst, self.n_nodes)
+        key = (msg.src, msg.dst)
+        wires = self._routes.get(key)
+        if wires is None:
+            wires = self._routes[key] = omega_route(msg.src, msg.dst, self.n_nodes)
         queued = 0.0
         for stage, wire in enumerate(wires):
             row = self._busy_until[stage]
@@ -59,8 +66,8 @@ class OmegaNetwork(Interconnect):
             row[wire] = depart
             self._wire_busy_time[stage][wire] += service
             t = depart
-        self.stats.observe("queueing", queued)
-        self.stats.counters.add("stage_traversals", self.stages)
+        self._queueing.observe(queued)
+        self._counters.add("stage_traversals", self.stages)
         if self.obs is not None:
             self.obs.instant(
                 "route:omega",
@@ -103,6 +110,7 @@ class BufferedOmegaNetwork(Interconnect):
         self._ports: List[Dict[int, Store]] = [dict() for _ in range(self.stages)]
         self._port_started: List[Dict[int, bool]] = [dict() for _ in range(self.stages)]
         self._cap = cap
+        self._routes: Dict[tuple, List[int]] = {}
 
     def _port(self, stage: int, wire: int) -> Store:
         store = self._ports[stage].get(wire)
@@ -113,7 +121,10 @@ class BufferedOmegaNetwork(Interconnect):
         return store
 
     def _route(self, msg: Message, flits: int) -> None:
-        wires = omega_route(msg.src, msg.dst, self.n_nodes)
+        key = (msg.src, msg.dst)
+        wires = self._routes.get(key)
+        if wires is None:
+            wires = self._routes[key] = omega_route(msg.src, msg.dst, self.n_nodes)
         entry = self._port(0, wires[0])
         self.sim.process(self._inject(entry, msg, wires, flits))
 

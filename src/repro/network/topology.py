@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..sim.core import Simulator
 from ..sim.stats import StatSet
-from .message import Message
+from .message import Message, MessageType, flit_table
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
@@ -105,6 +105,13 @@ class Interconnect(ABC):
         #: causal parent.
         self._cause: int = -1
         self.stats = StatSet()
+        # Per-message hot-path constants, resolved once: mtype -> flit count
+        # and mtype -> counter key (f-strings per send add up at millions of
+        # messages), plus the latency tally (skips a dict probe per arrival).
+        self._flits = flit_table(self.params.words_per_block)
+        self._msg_keys = {mt: f"msg.{mt.name}" for mt in MessageType}
+        self._counters = self.stats.counters
+        self._latency = self.stats.tally("latency")
 
     def set_fault_plan(self, plan: Optional["FaultPlan"]) -> None:
         """Install (or clear) a fault injector on this interconnect.
@@ -146,10 +153,11 @@ class Interconnect(ABC):
         chan = (msg.src, msg.dst)
         msg.chan_seq = self._chan_send_seq.get(chan, 0)
         self._chan_send_seq[chan] = msg.chan_seq + 1
-        flits = msg.flits(self.params.words_per_block)
-        self.stats.counters.add("messages")
-        self.stats.counters.add(f"msg.{msg.mtype.name}")
-        self.stats.counters.add("flits", flits)
+        flits = self._flits[msg.mtype]
+        counters = self._counters
+        counters.add("messages")
+        counters.add(self._msg_keys[msg.mtype])
+        counters.add("flits", flits)
         obs = self.obs
         if obs is not None:
             if msg.parent_id < 0:
@@ -163,7 +171,7 @@ class Interconnect(ABC):
                 parent=msg.parent_id,
             )
         if msg.src == msg.dst:
-            self.stats.counters.add("local_messages")
+            counters.add("local_messages")
             self._deliver_after(msg, self.params.local_delivery)
             return
         self._route(msg, flits)
@@ -246,7 +254,7 @@ class Interconnect(ABC):
         self._handle(msg)
 
     def _handle(self, msg: Message) -> None:
-        self.stats.observe("latency", self.sim.now - msg.send_time)
+        self._latency.observe(self.sim.now - msg.send_time)
         obs = self.obs
         if obs is not None:
             # One span per delivered message: send_time -> now, on the

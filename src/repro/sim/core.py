@@ -8,6 +8,23 @@ The kernel is deliberately small: events, timeouts, processes, and condition
 events (:class:`AllOf` / :class:`AnyOf`).  Queueing abstractions live in
 :mod:`repro.sim.resources`.
 
+Scheduling disciplines
+----------------------
+Two cycle-identical calendars are maintained (see DESIGN.md §7):
+
+* **fast** (the default) — positive-delay events go on the binary heap;
+  zero-delay events (same-instant sequencing, the bulk of a cycle-level
+  run) go on a plain FIFO lane that bypasses the heap.  The run loop
+  merges the two by global ``(time, _seq)`` order, so the processing
+  order is *identical* to an all-heap calendar.
+* **heap** — every event goes through the heap and the run loop is the
+  seed kernel's ``peek()``/``step()`` iteration.  This is the referee
+  the differential suite (``tests/sim/test_kernel_equivalence.py``) and
+  the perf gate compare against.
+
+Select per instance with ``Simulator(fast_path=False)`` or globally with
+``REPRO_KERNEL=heap`` in the environment.
+
 Example
 -------
 >>> sim = Simulator()
@@ -24,7 +41,9 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+import os
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, Optional, Tuple
 
 __all__ = [
     "Simulator",
@@ -35,7 +54,19 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "FAST_PATH_DEFAULT",
 ]
+
+#: Default scheduling discipline for new :class:`Simulator` instances.
+#: ``True`` = zero-delay FIFO lane + inlined run loop; ``False`` = the seed
+#: kernel's all-heap calendar (the differential referee).  Overridable per
+#: instance via ``Simulator(fast_path=...)`` or globally with
+#: ``REPRO_KERNEL=heap``.
+FAST_PATH_DEFAULT = os.environ.get("REPRO_KERNEL", "fast") != "heap"
+
+#: Lazily-canceled calendar entries tolerated before :meth:`Simulator.run`
+#: compacts the calendar (only once they also outnumber live entries).
+_COMPACT_MIN = 64
 
 
 class SimulationError(Exception):
@@ -135,10 +166,20 @@ class Event:
         advance to the canceled time and no callbacks run.  This is how
         retry timers and watchdog wake-ups are disarmed without leaving
         stray events that would inflate the run's completion time.
+
+        Dead entries are tracked in :attr:`Simulator.canceled_pending`;
+        once they outnumber the live calendar (and exceed a fixed floor)
+        the calendar is compacted in place so cancel-heavy runs (retry
+        timers under fault injection) do not drag a graveyard through
+        every subsequent heap operation.
         """
         if self._state != _TRIGGERED:
             raise SimulationError(f"cannot cancel {self!r}: not triggered/unprocessed")
         self._state = _CANCELED
+        sim = self.sim
+        n = sim.canceled_pending = sim.canceled_pending + 1
+        if n >= _COMPACT_MIN and n * 2 > len(sim._heap) + len(sim._lane):
+            sim._compact()
 
     _STATE_NAMES = {
         _PENDING: "pending",
@@ -280,7 +321,20 @@ class Process(Event):
 
 
 class _Condition(Event):
-    """Base for AllOf/AnyOf: fires based on a set of sub-events."""
+    """Base for AllOf/AnyOf: fires based on a set of sub-events.
+
+    Sub-event completion is *counted* — ``_pending_count`` is the exact
+    number of callbacks still outstanding, so each firing costs O(1)
+    instead of rescanning every sub-event (the rescans made controllers'
+    ack fan-ins quadratic in fan-out).  The count only includes sub-events
+    that were not yet processed at construction; already-processed ones
+    are reacted to in list order without ever driving it negative.
+
+    A condition that triggers while sub-events remain outstanding detaches
+    its callback from them (:meth:`_detach`), so long-lived events — an
+    ack collector raced against retry timers, say — do not accumulate an
+    unbounded list of dead callbacks over a long run.
+    """
 
     __slots__ = ("_events", "_pending_count")
 
@@ -290,15 +344,48 @@ class _Condition(Event):
         for ev in self._events:
             if ev.sim is not sim:
                 raise SimulationError("condition spans multiple simulators")
-        self._pending_count = 0
+        self._pending_count = sum(
+            1 for ev in self._events if ev._state != _PROCESSED
+        )
         for ev in self._events:
             if ev._state == _PROCESSED:
-                self._check(ev)
-            else:
-                self._pending_count += 1
-                ev.callbacks.append(self._check)
-        if not self._events and self._state == _PENDING:
-            self.succeed([])
+                # React in list order: a processed failure fails the
+                # condition immediately, and AnyOf fires on the first
+                # processed success.
+                self._on_processed(ev)
+                if self._state != _PENDING:
+                    return
+        if self._pending_count == 0:
+            # Every sub-event already processed (or no sub-events at all).
+            self._on_all_ready()
+            return
+        check = self._check
+        for ev in self._events:
+            if ev._state != _PROCESSED:
+                ev.callbacks.append(check)
+
+    def _fail_from(self, ev: Event) -> None:
+        self.fail(
+            ev._value
+            if isinstance(ev._value, BaseException)
+            else SimulationError(str(ev._value))
+        )
+
+    def _detach(self) -> None:
+        """Drop our callback from every sub-event that has not yet fired."""
+        check = self._check
+        for ev in self._events:
+            if ev._state != _PROCESSED:
+                try:
+                    ev.callbacks.remove(check)
+                except ValueError:
+                    pass
+
+    def _on_processed(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _on_all_ready(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
 
     def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -309,14 +396,23 @@ class AllOf(_Condition):
 
     __slots__ = ()
 
+    def _on_processed(self, ev: Event) -> None:
+        if not ev._ok:
+            self._fail_from(ev)
+
+    def _on_all_ready(self) -> None:
+        self.succeed([e._value for e in self._events])
+
     def _check(self, ev: Event) -> None:
         if self._state != _PENDING:
             return
         if not ev._ok:
-            self.fail(ev._value if isinstance(ev._value, BaseException) else SimulationError(str(ev._value)))
+            self._fail_from(ev)
+            self._detach()
             return
         self._pending_count -= 1
-        if self._pending_count <= 0 and all(e._state >= _TRIGGERED for e in self._events):
+        if self._pending_count == 0:
+            # Count exhausted <=> every sub-event processed: no rescan.
             self.succeed([e._value for e in self._events])
 
 
@@ -325,22 +421,63 @@ class AnyOf(_Condition):
 
     __slots__ = ()
 
+    def _on_processed(self, ev: Event) -> None:
+        if not ev._ok:
+            self._fail_from(ev)
+        else:
+            self.succeed((ev, ev._value))
+
+    def _on_all_ready(self) -> None:
+        # Only reachable with an empty sub-event list (any processed
+        # sub-event already decided the condition): preserved seed-kernel
+        # behavior is to succeed with an empty list.
+        self.succeed([])
+
     def _check(self, ev: Event) -> None:
         if self._state != _PENDING:
             return
         if not ev._ok:
-            self.fail(ev._value if isinstance(ev._value, BaseException) else SimulationError(str(ev._value)))
-            return
-        self.succeed((ev, ev._value))
+            self._fail_from(ev)
+        else:
+            self.succeed((ev, ev._value))
+        self._detach()
 
 
 class Simulator:
-    """The event calendar and execution loop."""
+    """The event calendar and execution loop.
 
-    __slots__ = ("_heap", "_seq", "now", "_active_process", "_jitter", "events_processed", "_obs")
+    The calendar is split in two (fast path, the default):
 
-    def __init__(self) -> None:
+    * ``_heap`` — binary heap of ``(time, seq, event)`` for positive-delay
+      events;
+    * ``_lane`` — FIFO deque of ``(seq, event)`` for zero-delay events.
+      Every lane entry is due at the *current* time: zero-delay events are
+      appended at ``now`` and the run loop drains everything due at ``now``
+      (lane and heap) before advancing the clock, so the invariant holds.
+
+    Both structures carry the same global ``_seq`` stamp, and the pop rule
+    ("take the heap head only when it is due now *and* has the smaller
+    seq") reproduces the exact ``(time, seq)`` total order of an all-heap
+    calendar — runs are bit-identical across disciplines.
+    """
+
+    __slots__ = (
+        "_heap",
+        "_lane",
+        "_seq",
+        "now",
+        "_active_process",
+        "_jitter",
+        "events_processed",
+        "canceled_pending",
+        "_fast",
+        "_obs",
+    )
+
+    def __init__(self, fast_path: Optional[bool] = None) -> None:
         self._heap: list[tuple[float, int, Event]] = []
+        #: Zero-delay FIFO lane; every entry is due at :attr:`now`.
+        self._lane: Deque[Tuple[int, Event]] = deque()
         self._seq = 0
         #: Current simulated time (cycles).
         self.now: float = 0
@@ -349,9 +486,25 @@ class Simulator:
         #: Monotonic count of processed (non-canceled) events; the progress
         #: watchdog compares successive readings to detect quiescence.
         self.events_processed: int = 0
+        #: Calendar entries canceled but not yet popped/compacted away.
+        #: ``len(_heap) + len(_lane) - canceled_pending`` is the number of
+        #: *live* scheduled events — the watchdog and ``HangDiagnosis`` use
+        #: it to tell a quiet calendar from one stuffed with dead retry
+        #: timers.
+        self.canceled_pending: int = 0
+        self._fast: bool = FAST_PATH_DEFAULT if fast_path is None else bool(fast_path)
         #: Trace bus (:class:`repro.obs.bus.TraceBus`) or ``None``; the
         #: machine installs it.  Hot paths test ``is not None`` only.
         self._obs = None
+
+    @property
+    def fast_path(self) -> bool:
+        """True when this simulator uses the zero-delay lane discipline."""
+        return self._fast
+
+    def pending_live(self) -> int:
+        """Number of scheduled-and-not-canceled calendar entries."""
+        return len(self._heap) + len(self._lane) - self.canceled_pending
 
     # -- latency jitter -----------------------------------------------------
     def set_jitter(self, fn: Optional[Callable[[float], float]]) -> None:
@@ -399,7 +552,30 @@ class Simulator:
         if self._obs is not None:
             event.sched_at = self.now
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay > 0 or not self._fast:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        else:
+            # Zero-delay: due at the current instant, strictly after every
+            # already-scheduled entry due now (larger seq) — plain FIFO.
+            self._lane.append((self._seq, event))
+
+    def _compact(self) -> None:
+        """Drop canceled entries from the calendar, in place.
+
+        In place matters: :meth:`run` holds local references to ``_heap``
+        and ``_lane``, and compaction can fire mid-run from an event
+        callback (via :meth:`Event.cancel`).
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[2]._state != _CANCELED]
+        heapq.heapify(heap)
+        lane = self._lane
+        if lane:
+            live = [entry for entry in lane if entry[1]._state != _CANCELED]
+            if len(live) != len(lane):
+                lane.clear()
+                lane.extend(live)
+        self.canceled_pending = 0
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none.
@@ -407,16 +583,36 @@ class Simulator:
         Canceled events at the head of the calendar are discarded so the
         reported time is that of the next event that will actually run.
         """
+        lane = self._lane
+        while lane and lane[0][1]._state == _CANCELED:
+            lane.popleft()
+            self.canceled_pending -= 1
         heap = self._heap
         while heap and heap[0][2]._state == _CANCELED:
             heapq.heappop(heap)
+            self.canceled_pending -= 1
+        if lane:
+            # Lane entries are always due at the current instant.
+            return self.now
         return heap[0][0] if heap else float("inf")
 
     def step(self) -> bool:
         """Process exactly one event; returns False for a canceled entry
         (discarded without advancing the clock or running callbacks)."""
-        t, _seq, event = heapq.heappop(self._heap)
+        lane = self._lane
+        heap = self._heap
+        if lane:
+            # Merged pop: take the heap head only when it is due now and
+            # precedes the lane head in global sequence order.
+            if heap and heap[0][0] <= self.now and heap[0][1] < lane[0][0]:
+                t, _seq, event = heapq.heappop(heap)
+            else:
+                _seq, event = lane.popleft()
+                t = self.now
+        else:
+            t, _seq, event = heapq.heappop(heap)
         if event._state == _CANCELED:
+            self.canceled_pending -= 1
             return False
         self.now = t
         event._state = _PROCESSED
@@ -440,12 +636,64 @@ class Simulator:
         The clock only advances to processed events' times — it is never
         artificially bumped to ``until`` (completion time stays meaningful).
         """
+        if not self._fast:
+            # Seed-kernel loop, verbatim: the differential referee.
+            count = 0
+            heap = self._heap
+            while heap:
+                if until is not None and self.peek() > until:
+                    return
+                if self.step():
+                    count += 1
+                    if max_events is not None and count >= max_events:
+                        return
+            return
+        # Fast path: the step() body is inlined (no per-iteration peek()
+        # re-scan, no method-call overhead per event).  ``heap`` and
+        # ``lane`` stay valid across _compact() because it mutates both in
+        # place.
+        if until is not None and self.now > until:
+            # Only reachable when a previous bounded run() stopped with
+            # same-instant work still queued past ``until``.
+            return
         count = 0
         heap = self._heap
-        while heap:
-            if until is not None and self.peek() > until:
-                return
-            if self.step():
+        lane = self._lane
+        heappop = heapq.heappop
+        popleft = lane.popleft  # lane is only ever mutated in place
+        while lane or heap:
+            if lane:
+                if heap and heap[0][0] <= self.now and heap[0][1] < lane[0][0]:
+                    event = heappop(heap)[2]
+                else:
+                    event = popleft()[1]
+                if event._state == _CANCELED:
+                    self.canceled_pending -= 1
+                    continue
+                # Due at the current instant: ``now`` unchanged, and the
+                # loop entry guard already established ``now <= until``.
+            else:
+                head = heap[0]
+                event = head[2]
+                if event._state == _CANCELED:
+                    heappop(heap)
+                    self.canceled_pending -= 1
+                    continue
+                t = head[0]
+                if until is not None and t > until:
+                    return
+                heappop(heap)
+                self.now = t
+            event._state = _PROCESSED
+            self.events_processed += 1
+            obs = self._obs
+            if obs is not None and event.name and obs.enabled_for("kernel"):
+                lat = self.now - event.sched_at if event.sched_at >= 0 else 0.0
+                obs.instant(event.name, "kernel", 0, args={"lat": lat})
+            callbacks, event.callbacks = event.callbacks, []
+            for cb in callbacks:
+                cb(event)
+            if max_events is not None:
                 count += 1
-                if max_events is not None and count >= max_events:
+                if count >= max_events:
                     return

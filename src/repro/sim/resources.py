@@ -22,7 +22,7 @@ class Store:
     ablation studies).
     """
 
-    __slots__ = ("sim", "capacity", "items", "_getters", "_putters", "name")
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters", "name", "_put_name", "_get_name")
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
         if capacity is not None and capacity <= 0:
@@ -33,6 +33,10 @@ class Store:
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
         self.name = name
+        # Event names are formatted once here, not per put/get: stores sit
+        # on the per-message hot path (switch queues, write buffers).
+        self._put_name = f"{name}.put" if name else ""
+        self._get_name = f"{name}.get" if name else ""
 
     def __len__(self) -> int:
         return len(self.items)
@@ -43,7 +47,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Deposit ``item``; the returned event fires when the put completes."""
-        ev = Event(self.sim, name=f"{self.name}.put")
+        ev = Event(self.sim, name=self._put_name)
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             getter = self._getters.popleft()
@@ -68,7 +72,7 @@ class Store:
 
     def get(self) -> Event:
         """The returned event fires with the oldest item."""
-        ev = Event(self.sim, name=f"{self.name}.get")
+        ev = Event(self.sim, name=self._get_name)
         if self.items:
             item = self.items.popleft()
             self._admit_putter()

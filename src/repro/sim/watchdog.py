@@ -6,11 +6,15 @@ exactly what a lost network message produces.  The :class:`Watchdog` is a
 kernel-level progress monitor armed on the calendar itself:
 
 * **Quiescence with outstanding work** — at a wake-up the calendar holds no
-  future event (``sim.peek()`` is infinite once the wake itself has fired)
-  while ``outstanding()`` still reports unfinished work: every remaining
-  process is blocked on an event nobody will ever trigger.  This is exact —
-  a long legitimate compute keeps its timeout on the calendar, so it can
-  never false-positive.  A reliable machine cannot reach this state; a
+  *live* future event (``sim.pending_live()`` is zero once the wake itself
+  has fired) while ``outstanding()`` still reports unfinished work: every
+  remaining process is blocked on an event nobody will ever trigger.  This
+  is exact — a long legitimate compute keeps its timeout on the calendar,
+  so it can never false-positive.  Counting live entries rather than raw
+  calendar length matters under fault injection: a wedged machine's
+  calendar is often *stuffed* with lazily-canceled retry timers, and
+  ``Simulator.canceled_pending`` is what tells that graveyard apart from
+  genuinely scheduled work.  A reliable machine cannot reach this state; a
   lossy fabric reaches it the moment a reply vanishes with retries
   disabled or exhausted.
 * **Livelock / retry storm** — events keep firing but the ``progress()``
@@ -131,9 +135,11 @@ class Watchdog:
         if not self.outstanding():
             return  # run finished normally; stay disarmed
         seen = self.sim.events_processed
-        # Our wake was the calendar's last event and work remains: every
-        # outstanding process is blocked on an event that will never fire.
-        if self.sim.peek() == float("inf"):
+        # Our wake was the calendar's last *live* event and work remains:
+        # every outstanding process is blocked on an event that will never
+        # fire.  ``pending_live()`` nets out lazily-canceled entries, so a
+        # calendar full of dead retry timers still reads as quiescent.
+        if self.sim.pending_live() == 0:
             self._trip("quiescent")
         if self.retry_budget is not None and self.retries is not None:
             if self.retries() > self.retry_budget:

@@ -254,6 +254,8 @@ def run_program(
     faults: Optional[FaultSpec] = None,
     on_hang: Optional[Callable[[HangDiagnosis], None]] = None,
     trace_path: Optional[str] = None,
+    fast_path: Optional[bool] = None,
+    on_machine: Optional[Callable[["Machine"], None]] = None,
 ) -> Optional[str]:
     """Execute ``program`` once and run every oracle.
 
@@ -264,13 +266,18 @@ def run_program(
     ``trace_path`` enables the trace bus and dumps the run's trace (JSONL)
     there, whatever the outcome — tracing does not perturb simulated time,
     so a failure reproduces identically with it on.
+
+    ``fast_path`` pins the kernel scheduling discipline (``None`` = the
+    process default) and ``on_machine`` receives the finished machine —
+    together they let the kernel-equivalence suite replay one program under
+    both disciplines and compare metrics/traces bit-for-bit.
     """
     n_nodes = max(4, _next_pow2(program.n_threads + 1))
     cfg = MachineConfig(
         n_nodes=n_nodes, cache_blocks=64, cache_assoc=2, seed=seed,
         obs=ObsParams() if trace_path is not None else None,
     )
-    machine = Machine(cfg, protocol=protocol, faults=faults)
+    machine = Machine(cfg, protocol=protocol, faults=faults, fast_path=fast_path)
     if jitter > 0:
         machine.sim.set_jitter(
             make_jitter(machine.rng.stream("fuzz.jitter"), 1.0 + jitter, prob=jitter_prob)
@@ -358,6 +365,8 @@ def run_program(
     finally:
         if trace_path is not None:
             machine.dump_trace(trace_path)
+        if on_machine is not None:
+            on_machine(machine)
 
     try:
         check_all(machine)

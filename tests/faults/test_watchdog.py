@@ -177,3 +177,37 @@ def test_watchdog_does_not_inflate_completion_time():
     # completion, not at a watchdog interval boundary.
     interval = 4 * machine.cfg.resilience.max_timeout
     assert machine.sim.now % interval != 0
+
+def test_quiescence_detected_through_canceled_retry_graveyard():
+    """A calendar stuffed with lazily-canceled retry timers is still
+    quiescent: ``pending_live()`` nets the graveyard out, so the watchdog
+    trips instead of mistaking dead entries for scheduled work."""
+    from repro.sim.core import Event
+
+    sim = Simulator()
+
+    def stuck(sim):
+        yield Event(sim)  # never fires
+
+    proc = sim.process(stuck(sim))
+    # Dozens of "retry timers", all disarmed before they fire — exactly
+    # what a retry-exhausted protocol leaves behind.
+    timers = [sim.timeout(10_000 + i) for i in range(48)]
+    for t in timers:
+        t.cancel()
+    Watchdog(sim, outstanding=lambda: proc.is_alive, interval=100).start()
+    with pytest.raises(HangError, match="quiescent"):
+        sim.run()
+
+
+def test_diagnosis_reports_calendar_occupancy():
+    """HangDiagnosis carries canceled_pending / pending_live so a wedge full
+    of dead retry timers is distinguishable from a quiet calendar."""
+    machine = _stuck_machine(0)
+    with pytest.raises(HangError) as exc_info:
+        machine.run_all(max_cycles=5_000_000)
+    diag = exc_info.value.diagnosis
+    payload = diag.to_dict()
+    assert payload["canceled_pending"] == machine.sim.canceled_pending
+    assert payload["pending_live"] >= 0
+    assert "canceled-pending" in diag.format()
