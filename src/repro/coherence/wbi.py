@@ -387,7 +387,7 @@ class WBIHomeController(Controller):
         """Send INVs to all sharers except ``exclude``; wait for the acks."""
         from ..memory.directory import DirState
 
-        targets = [s for s in entry.sharers if s != exclude]
+        targets = [s for s in sorted(entry.sharers) if s != exclude]
         coll = SourceAckCollector(self.sim, targets)
         rseq = self.rseq_or_none() if targets else None
         if targets:

@@ -291,7 +291,7 @@ class WUHomeController(Controller):
         Resilient mode: versioned + acked — re-pushed to laggards until
         every sharer confirms, so a dropped push cannot strand a stale copy.
         """
-        targets = [s for s in entry.sharers if s != exclude]
+        targets = [s for s in sorted(entry.sharers) if s != exclude]
         if not targets:
             return
         self.stats.counters.add("wu.pushes", len(targets))

@@ -20,8 +20,9 @@ Hook placement matters for soundness:
   wedge the resequencer forever waiting for the missing sequence number —
   a simulator artifact, not a modeled fault.
 
-All randomness comes from one ``random.Random(spec.seed)`` stream, so a
-(spec, workload, machine-seed) triple replays bit-identically.
+All randomness comes from one per-plan seeded stream
+(:func:`repro.sim.rng.py_random` with ``spec.seed``), so a (spec,
+workload, machine-seed) triple replays bit-identically.
 """
 
 from __future__ import annotations
@@ -29,6 +30,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
+
+from ..sim.rng import py_random
 
 __all__ = ["FaultSpec", "ResilienceParams", "FaultPlan", "DEFAULT_RESILIENCE"]
 
@@ -182,7 +185,7 @@ class FaultPlan:
     drop_log: List[str] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
-        self.rng = random.Random(self.spec.seed)
+        self.rng = py_random(self.spec.seed)
 
     # -- hook: Interconnect.send (pre sequence-number) -----------------------
     def send_outage(self, src: int, dst: int, now: float) -> bool:

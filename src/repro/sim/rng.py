@@ -8,12 +8,24 @@ not perturb existing streams.
 
 from __future__ import annotations
 
+import random
 import zlib
 from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngStreams"]
+__all__ = ["RngStreams", "py_random"]
+
+
+def py_random(seed: int) -> random.Random:
+    """A per-object seeded stdlib ``random.Random``.
+
+    The sanctioned constructor for stdlib randomness in sim code: every
+    consumer owns its instance and its seed, so nothing ever draws from
+    the interpreter-global stream (the determinism linter's
+    ``unseeded-random`` rule enforces this).
+    """
+    return random.Random(seed)
 
 
 class RngStreams:
@@ -24,6 +36,7 @@ class RngStreams:
             raise ValueError("master_seed must be non-negative")
         self.master_seed = int(master_seed)
         self._cache: Dict[str, np.random.Generator] = {}
+        self._py_cache: Dict[str, random.Random] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the stream for ``name`` (created and cached on first use).
@@ -41,6 +54,21 @@ class RngStreams:
     def node_stream(self, node_id: int, purpose: str = "refs") -> np.random.Generator:
         """Convenience: the stream for one node's ``purpose``."""
         return self.stream(f"node{node_id}:{purpose}")
+
+    def py_stream(self, name: str) -> random.Random:
+        """The named stdlib :class:`random.Random` stream (cached).
+
+        Mirrors :meth:`stream` for consumers that want the stdlib API:
+        the seed mixes the master seed with a CRC of the name, so the
+        same (master_seed, name) pair always yields the same sequence.
+        """
+        gen = self._py_cache.get(name)
+        if gen is None:
+            label = zlib.crc32(name.encode("utf-8"))
+            gen = self._py_cache[name] = py_random(
+                (self.master_seed * 1000003 + label) % (2**63)
+            )
+        return gen
 
     def fork(self, salt: str) -> "RngStreams":
         """A derived stream family (e.g. per-repetition)."""

@@ -1,0 +1,60 @@
+"""Static analyses over simulator inputs and the simulator itself.
+
+Two independent tools live here:
+
+:mod:`repro.static.drf`
+    The program analyzer: classifies litmus/fuzzer programs as
+    properly-labeled or racy (the Adve–Hill condition behind the paper's
+    "buffered consistency is SC for synchronized programs" claim) and
+    emits structured race reports.  The litmus oracle and the fuzzer's
+    consume oracle derive their allowed-outcome sets from it.
+
+:mod:`repro.static.lint`
+    The determinism linter: AST rules over the simulator's own source
+    that catch the bug classes which break bit-identical replay —
+    unseeded randomness, wall-clock reads in sim paths, iteration over
+    unordered sets feeding message dispatch, sim processes that never
+    yield, and ungated trace emission.
+"""
+
+_DRF_EXPORTS = {
+    "Access", "Classification", "LabelMismatch", "ProgramIR", "RaceReport",
+    "analyze_program", "check_labels", "classification_for", "classify_ir",
+    "derive_consume_allowed", "lower_fuzz_program", "lower_litmus",
+}
+_LINT_EXPORTS = {"Finding", "Rule", "RULES", "lint_paths", "lint_source"}
+
+
+def __getattr__(name):
+    # Lazy re-exports: `python -m repro.static.lint` must not import the
+    # sibling analyzer (and vice versa) just to resolve the package.
+    if name in _DRF_EXPORTS:
+        from . import drf
+
+        return getattr(drf, name)
+    if name in _LINT_EXPORTS:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Access",
+    "Classification",
+    "LabelMismatch",
+    "ProgramIR",
+    "RaceReport",
+    "analyze_program",
+    "check_labels",
+    "classification_for",
+    "classify_ir",
+    "derive_consume_allowed",
+    "lower_fuzz_program",
+    "lower_litmus",
+    "Finding",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+]

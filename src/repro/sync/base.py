@@ -14,7 +14,79 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
     from ..system.machine import Machine
 
-__all__ = ["CBLLock", "HWBarrier"]
+__all__ = [
+    "CBLLock",
+    "HWBarrier",
+    "NP_SYNCH_OPS",
+    "CP_SYNCH_OPS",
+    "LOCK_SYNC_LABELS",
+    "BARRIER_SYNC_LABELS",
+    "expected_label",
+    "sync_labeling",
+]
+
+#: The paper's labeling of synchronization operation kinds (the Adve–Hill
+#: proper-labeling discipline behind NP-Synch/CP-Synch).  An NP-Synch
+#: operation (acquire) may issue past a non-empty write buffer — it orders
+#: only the accesses *after* it; a CP-Synch operation (release, barrier,
+#: explicit FLUSH-BUFFER) must drain the buffer first under every buffered
+#: model.  This table is the single source of truth: the consistency
+#: models implement it (``pre_release``/``pre_barrier`` fence when
+#: ``flush_before_release``), the static analyzer's fence rules are
+#: derived from it (:mod:`repro.static.drf`), and
+#: :func:`repro.workloads.base.verified_result` asserts every primitive a
+#: workload used declares its side of it.
+NP_SYNCH_OPS = frozenset({"acquire"})
+CP_SYNCH_OPS = frozenset({"release", "barrier", "flush"})
+
+#: Operation-name → operation-kind for the primitives' public methods.
+_OP_KINDS = {"acquire": "acquire", "release": "release", "wait": "barrier"}
+
+#: The labeling every lock object must declare.
+LOCK_SYNC_LABELS = {"acquire": "NP-Synch", "release": "CP-Synch"}
+#: The labeling every barrier object must declare.
+BARRIER_SYNC_LABELS = {"wait": "CP-Synch"}
+
+
+def expected_label(kind: str) -> str:
+    """The table's label for one synchronization operation kind."""
+    if kind in NP_SYNCH_OPS:
+        return "NP-Synch"
+    if kind in CP_SYNCH_OPS:
+        return "CP-Synch"
+    raise ValueError(f"{kind!r} is not a synchronization operation kind")
+
+
+def sync_labeling(obj) -> dict:
+    """The declared NP/CP-Synch labeling of a sync primitive, validated.
+
+    Every lock and barrier class carries a ``sync_labels`` declaration
+    (``{"acquire": "NP-Synch", "release": "CP-Synch"}`` for locks,
+    ``{"wait": "CP-Synch"}`` for barriers).  Raises ``ValueError`` when the
+    declaration is missing, names an unknown operation, or contradicts the
+    table — a mislabeled primitive would let a workload look properly
+    synchronized while the machine skips the corresponding fence.
+    """
+    declared = getattr(type(obj), "sync_labels", None)
+    if not declared:
+        raise ValueError(
+            f"{type(obj).__name__} declares no sync_labels; every "
+            "synchronization primitive must label its operations "
+            "NP-Synch/CP-Synch"
+        )
+    for op, label in declared.items():
+        kind = _OP_KINDS.get(op)
+        if kind is None:
+            raise ValueError(
+                f"{type(obj).__name__}.sync_labels names unknown operation {op!r}"
+            )
+        want = expected_label(kind)
+        if label != want:
+            raise ValueError(
+                f"{type(obj).__name__}.{op} is labeled {label!r} but "
+                f"{kind} is {want} in the paper's labeling"
+            )
+    return dict(declared)
 
 
 class CBLLock:
@@ -24,6 +96,8 @@ class CBLLock:
     the grant and are accessed via ``proc.cbl.read_locked`` /
     ``write_locked`` while the lock is held.
     """
+
+    sync_labels = LOCK_SYNC_LABELS
 
     def __init__(self, machine: "Machine", block: int | None = None):
         self.machine = machine
@@ -45,6 +119,8 @@ class CBLLock:
 
 class HWBarrier:
     """A hardware barrier for ``n`` participants, homed at one block."""
+
+    sync_labels = BARRIER_SYNC_LABELS
 
     def __init__(self, machine: "Machine", n: int, block: int | None = None):
         if n <= 0:

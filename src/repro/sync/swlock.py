@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
+from .base import BARRIER_SYNC_LABELS, LOCK_SYNC_LABELS
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
     from ..system.machine import Machine
@@ -65,6 +67,8 @@ def _spin_ctl(proc: "Processor"):
 class TSLock:
     """Naive test-and-set: every probe crosses the network."""
 
+    sync_labels = LOCK_SYNC_LABELS
+
     def __init__(self, machine: "Machine", addr: int | None = None):
         self.machine = machine
         self.addr = machine.alloc_word() if addr is None else addr
@@ -85,6 +89,8 @@ class TSLock:
 
 class TTSLock:
     """Test-and-test-and-set: spin locally on the cached copy."""
+
+    sync_labels = LOCK_SYNC_LABELS
 
     def __init__(self, machine: "Machine", addr: int | None = None):
         self.machine = machine
@@ -114,6 +120,8 @@ class TTSLock:
 
 class TTSBackoffLock:
     """Test-and-set with capped exponential backoff between probes."""
+
+    sync_labels = LOCK_SYNC_LABELS
 
     def __init__(
         self,
@@ -148,6 +156,8 @@ class TTSBackoffLock:
 
 class TicketLock:
     """FIFO ticket lock: fetch&add for the ticket, cached spin on serving."""
+
+    sync_labels = LOCK_SYNC_LABELS
 
     def __init__(self, machine: "Machine", next_addr: int | None = None, serving_addr: int | None = None):
         self.machine = machine
@@ -184,6 +194,8 @@ class MCSLock:
     so spinning is entirely local until the predecessor hands over.  Node
     ids are encoded as ``id + 1`` so 0 can serve as nil.
     """
+
+    sync_labels = LOCK_SYNC_LABELS
 
     def __init__(self, machine: "Machine"):
         self.machine = machine
@@ -235,6 +247,8 @@ class MCSLock:
 
 class SWBarrier:
     """Central sense-reversing software barrier over coherent memory."""
+
+    sync_labels = BARRIER_SYNC_LABELS
 
     def __init__(self, machine: "Machine", n: int):
         if n <= 0:

@@ -80,7 +80,7 @@ class RunMetrics:
         if unknown:
             raise ValueError(f"unknown RunMetrics fields: {sorted(unknown)}")
         m = cls()
-        for key in known:
+        for key in sorted(known):
             if key in d:
                 value = d[key]
                 if key in ("msg_by_type", "node_counters", "faults"):

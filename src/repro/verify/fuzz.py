@@ -60,7 +60,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 import time
 from dataclasses import dataclass, replace
@@ -71,7 +70,8 @@ from ..consistency.models import ConsistencyModel, get_model
 from ..faults.diagnosis import HangDiagnosis
 from ..faults.plan import FaultSpec
 from ..obs import ObsParams
-from ..sim.rng import RngStreams
+from ..sim.rng import RngStreams, py_random
+from ..static.drf import derive_consume_allowed
 from ..sim.watchdog import HangError
 from ..sync.base import CBLLock, HWBarrier
 from ..system.config import MachineConfig
@@ -209,18 +209,17 @@ def gen_program(
 
 def consume_allowed(program: Program, round_idx: int, target: int) -> set:
     """Values a consume of ``target``'s slot may legally observe in
-    ``round_idx``: the last value published in an earlier round (0 if
-    none) or any value the target publishes concurrently this round."""
-    last = 0
-    for r in range(round_idx):
-        for atom in program.rounds[r][target]:
-            if atom.kind == "publish":
-                last = atom.arg
-    allowed = {last}
-    for atom in program.rounds[round_idx][target]:
-        if atom.kind == "publish":
-            allowed.add(atom.arg)
-    return allowed
+    ``round_idx``.
+
+    *Derived*, not hand-coded: :func:`repro.static.drf.derive_consume_allowed`
+    lowers the program to the analyzer's IR and partitions the slot's
+    writes against the consuming round's barrier phase — writes ordered
+    before contribute only the program-order-last value, statically-racy
+    concurrent writes contribute each of theirs.  (The closed form: the
+    last value published in an earlier round — 0 if none — plus any value
+    the target publishes concurrently this round.)
+    """
+    return derive_consume_allowed(program, round_idx, target)
 
 
 # --------------------------------------------------------------------------
@@ -675,11 +674,12 @@ def fuzz(
     loop — reported via ``stopped_by_wall_clock`` — once the wall-clock
     budget is spent; runs already started are finished, never aborted.
     """
-    t0 = time.monotonic()
+    t0 = time.monotonic()  # lint-ok: wall-clock (the --max-wall-seconds budget)
     streams = RngStreams(master_seed)
     combos = [(p, m) for p in protocols for m in models]
     report = FuzzReport(runs_by_combo={c: 0 for c in combos})
     for i in range(iters):
+        # lint-ok: wall-clock (budget check; never feeds simulated state)
         if max_wall_seconds is not None and time.monotonic() - t0 > max_wall_seconds:
             report.stopped_by_wall_clock = True
             log(f"wall-clock budget ({max_wall_seconds}s) spent after {i} iteration(s)")
@@ -697,7 +697,7 @@ def fuzz(
         fspec: Optional[FaultSpec] = None
         if faults:
             n_nodes = max(4, _next_pow2(program.n_threads + 1))
-            frng = random.Random(int(rng.integers(0, 2**31 - 1)))
+            frng = py_random(int(rng.integers(0, 2**31 - 1)))
             fspec = FaultSpec.draw(
                 frng, seed=int(rng.integers(0, 2**31 - 1)), n_nodes=n_nodes
             )
@@ -837,7 +837,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     protocols = PROTOCOLS if args.protocol == "all" else (args.protocol,)
     models = MODELS if args.model == "all" else (args.model,)
-    t0 = time.time()
+    t0 = time.time()  # lint-ok: wall-clock (CLI progress reporting)
     report = fuzz(
         master_seed=args.seed,
         iters=args.iters,
@@ -851,7 +851,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         verbose=args.verbose,
         log=lambda s: print(s, file=sys.stderr),
     )
-    dt = time.time() - t0
+    dt = time.time() - t0  # lint-ok: wall-clock (CLI progress reporting)
     if report.ok:
         combos = sum(1 for c, n in report.runs_by_combo.items() if n > 0)
         cut = " (wall-clock budget spent)" if report.stopped_by_wall_clock else ""

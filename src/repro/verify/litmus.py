@@ -344,13 +344,21 @@ def allowed_outcomes(
     Relaxed outcomes require all three of: a machine with a write buffer
     (``primitives``), a model that does not stall shared writes, and a
     test whose races are not bridged by synchronization.
+
+    Whether the test is synchronized is *derived* by the static analyzer
+    (:mod:`repro.static.drf`); the hand-maintained ``synchronized=`` flag
+    is kept only as a cross-checked assertion — a disagreement raises
+    :class:`repro.static.drf.LabelMismatch` rather than silently trusting
+    either side.
     """
+    from ..static.drf import check_labels  # lazy: drf imports this module
+
     m = get_model(model) if isinstance(model, str) else model
     allowed = set(test.sc_outcomes)
     if (
         protocol == "primitives"
         and not m.stall_on_shared_write
-        and not test.synchronized
+        and not check_labels(test).synchronized
     ):
         allowed |= set(test.relaxed_outcomes)
     return frozenset(allowed)

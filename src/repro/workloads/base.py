@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
-from ..sync.base import CBLLock
+from ..sync.base import CBLLock, sync_labeling
 from ..sync.swlock import MCSLock, TicketLock, TSLock, TTSBackoffLock, TTSLock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,6 +64,7 @@ def verified_result(
     flits: int,
     tasks_done: int = 0,
     extra: Optional[dict] = None,
+    sync_objects: Sequence = (),
 ) -> WorkloadResult:
     """Build a :class:`WorkloadResult`, first asserting protocol invariants.
 
@@ -73,12 +74,24 @@ def verified_result(
     raise ``InvariantViolation`` on a corrupted machine instead of letting
     the performance numbers be silently wrong.  The per-checker inspection
     counts land in ``extra["invariants"]``.
+
+    ``sync_objects`` are the locks and barriers the workload synchronized
+    with; each must declare the NP-Synch/CP-Synch labeling of its
+    operations (:func:`repro.sync.base.sync_labeling` raises on a missing
+    or contradictory declaration — the run's proper-labeling argument rests
+    on every primitive fencing on the side the paper's table says it
+    does).  The validated declarations land in ``extra["labeling"]``.
     """
     from ..verify import check_all  # local: verify imports Machine
 
     counts = check_all(machine)
     extra = dict(extra or {})
     extra["invariants"] = counts
+    if sync_objects:
+        labeling: Dict[str, Dict[str, str]] = {}
+        for obj in sync_objects:
+            labeling[type(obj).__name__] = sync_labeling(obj)
+        extra["labeling"] = labeling
     return WorkloadResult(
         completion_time=completion_time,
         messages=messages,

@@ -167,4 +167,5 @@ class SyncModelWorkload:
             messages=met.messages,
             flits=met.flits,
             tasks_done=self.tasks_done,
+            sync_objects=self.locks + ([self.barrier] if self.barrier else []),
         )

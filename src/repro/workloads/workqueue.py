@@ -270,4 +270,6 @@ class WorkQueueWorkload:
             messages=met.messages,
             flits=met.flits,
             tasks_done=self.tasks_done,
+            sync_objects=[self.queue_lock]
+            + ([self.barrier] if self.barrier else []),
         )

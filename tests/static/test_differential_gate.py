@@ -1,0 +1,94 @@
+"""The differential gate: static classification vs dynamic sweeps.
+
+The analyzer's verdict must agree with what the machine can actually do:
+
+* statically **synchronized** ⇒ no relaxed outcome is ever observed under
+  the buffered models (BC/WO/RC) — on any protocol;
+* statically **racy** ⇒ the relaxed outcomes really are reachable
+  (witnessed on pinned seeds where this machine can produce them);
+* the fuzzer's derived consume oracle admits every value a pinned corpus
+  of generated programs observes across protocols × buffered models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.static.drf import analyze_program, check_labels
+from repro.verify.fuzz import gen_program, run_program
+from repro.verify.litmus import LITMUS_TESTS, observe_outcomes
+from repro.verify.litmus import tests_for as litmus_tests_for
+
+TESTS = {t.name: t for t in LITMUS_TESTS}
+BUFFERED_MODELS = ("bc", "wo", "rc")
+
+
+# -- synchronized ⇒ SC outcomes only ----------------------------------------
+@pytest.mark.parametrize("model", BUFFERED_MODELS)
+def test_statically_synchronized_shows_no_relaxed_outcome(model):
+    for test in litmus_tests_for("primitives"):
+        if not check_labels(test).synchronized:
+            continue
+        observed = observe_outcomes(
+            test, "primitives", model, seeds=range(3), jitters=(0.0, 2.0)
+        )
+        assert observed <= test.sc_outcomes, (
+            f"{test.name} is statically synchronized but {model} produced "
+            f"{sorted(observed - test.sc_outcomes)}"
+        )
+
+
+# -- racy ⇒ relaxed outcomes reachable --------------------------------------
+@pytest.mark.parametrize(
+    "name,seeds",
+    [("mp", (27, 79, 103, 111)), ("sb", (27, 28, 51))],
+)
+def test_statically_racy_witnesses_relaxed_outcome(name, seeds):
+    """Pinned witness schedules: the races the analyzer reports are real.
+
+    (iriw is the deliberate exception — the analyzer is conservative in
+    the safe direction and this machine's write buffer cannot violate
+    write atomicity, so its relaxed outcome stays allowed-but-unseen.)
+    """
+    test = TESTS[name]
+    assert not check_labels(test).synchronized
+    observed = observe_outcomes(
+        test, "primitives", "bc", seeds=seeds, jitters=(10.0,)
+    )
+    assert observed & test.relaxed_outcomes
+
+
+def test_racy_set_is_exactly_the_unsynchronized_tests():
+    racy = {t.name for t in LITMUS_TESTS if not check_labels(t).synchronized}
+    assert racy == {"mp", "sb", "iriw"}
+
+
+# -- generated-program corpus across protocols × buffered models -------------
+#: Pinned (seed, n_threads, n_rounds) triples kept small so the full
+#: protocol × model product stays cheap; regenerate with gen_program on
+#: any corpus change.
+CORPUS = ((11, 2, 2), (23, 3, 1), (42, 2, 3))
+
+
+@pytest.mark.parametrize("protocol", ("wbi", "primitives", "writeupdate"))
+@pytest.mark.parametrize("model", BUFFERED_MODELS)
+def test_corpus_passes_derived_oracles(protocol, model):
+    """run_program's oracles (now fed by derive_consume_allowed) accept
+    every observed value: the static allowed sets are sound."""
+    for seed, n_threads, n_rounds in CORPUS:
+        p = gen_program(
+            np.random.default_rng(seed), n_threads=n_threads, n_rounds=n_rounds
+        )
+        failure = run_program(p, protocol, model, seed=seed, jitter=2.0)
+        assert failure is None, f"corpus seed {seed} on {protocol}×{model}: {failure}"
+
+
+def test_corpus_classifications_are_pinned():
+    """The corpus stays interesting: it must contain both a properly
+    labeled program and a statically racy one."""
+    verdicts = set()
+    for seed, n_threads, n_rounds in CORPUS:
+        p = gen_program(
+            np.random.default_rng(seed), n_threads=n_threads, n_rounds=n_rounds
+        )
+        verdicts.add(analyze_program(p).properly_labeled)
+    assert verdicts == {True, False}

@@ -1,0 +1,134 @@
+"""The DRF analyzer vs the litmus corpus (:mod:`repro.static.drf`).
+
+Every hand-maintained ``synchronized=`` flag in the suite must equal the
+analyzer's derived classification — the flags survive purely as
+cross-checked assertions (satellite: flag cross-check).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.static.drf import (
+    LabelMismatch,
+    check_labels,
+    classification_for,
+    classify_litmus,
+    lower_litmus,
+)
+from repro.verify.litmus import (
+    ACQ,
+    BAR,
+    COMPUTE,
+    FLUSH,
+    INC,
+    LITMUS_TESTS,
+    R,
+    REL,
+    W,
+)
+
+TESTS = {t.name: t for t in LITMUS_TESTS}
+
+
+# -- every flag is derivable -------------------------------------------------
+@pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+def test_flag_matches_derived_classification(test):
+    cls = check_labels(test)  # raises LabelMismatch on disagreement
+    assert cls.synchronized == test.synchronized
+
+
+def test_mislabeled_test_is_caught():
+    lie = dataclasses.replace(TESTS["mp"], name="mp-mislabeled", synchronized=True)
+    with pytest.raises(LabelMismatch, match="mp-mislabeled"):
+        check_labels(lie)
+
+
+# -- per-test structure ------------------------------------------------------
+def test_mp_reports_both_races():
+    cls = classification_for(TESTS["mp"])
+    assert not cls.properly_labeled and not cls.synchronized
+    assert {r.var for r in cls.races} == {"x", "flag"}
+    race = next(r for r in cls.races if r.var == "x")
+    assert (race.thread_a, race.index_a) == (0, 0)  # W(x,1) is t0 op 0
+    assert race.thread_b == 1
+    assert "release/acquire" in race.reason
+
+
+def test_barrier_and_lock_tests_are_properly_labeled():
+    for name in ("mp+barrier", "mp+lock", "lock-inc", "ru-stale"):
+        cls = classification_for(TESTS[name])
+        assert cls.properly_labeled, f"{name}: {[r.describe() for r in cls.races]}"
+        assert not cls.races
+
+
+def test_sb_flush_is_racy_but_fence_covered():
+    """sb+flush keeps its races (no sync orders the threads) yet every
+    same-thread racy pair is separated by a FLUSH — SC outcomes only."""
+    cls = classification_for(TESTS["sb+flush"])
+    assert cls.races and not cls.unfenced
+    assert not cls.properly_labeled and cls.synchronized
+
+
+def test_iriw_races_are_read_pairs_too():
+    """IRIW's reader threads race only via reads against the writers; the
+    fence rule must still count them or iriw misclassifies as synchronized."""
+    cls = classification_for(TESTS["iriw"])
+    assert len(cls.races) == 4
+    assert not cls.synchronized
+    assert cls.unfenced  # the reader threads' back-to-back racy reads
+
+
+# -- ordering rules on hand-built programs -----------------------------------
+def test_barrier_orders_only_across_a_crossing():
+    # Write before the crossing, read after it: ordered.
+    ordered = ((W("x", 1), BAR("b")), (BAR("b"), R("x", "r0")))
+    assert classify_litmus(ordered).properly_labeled
+    # Both sides after their (only) crossing: same phase, no edge.
+    racy = ((BAR("b"), W("x", 1)), (BAR("b"), R("x", "r0")))
+    cls = classify_litmus(racy)
+    assert not cls.properly_labeled and len(cls.races) == 1
+
+
+def test_distinct_locks_do_not_order():
+    racy = (
+        (ACQ("L1"), INC("c", "r0"), REL("L1")),
+        (ACQ("L2"), INC("c", "r1"), REL("L2")),
+    )
+    cls = classify_litmus(racy)
+    assert not cls.properly_labeled
+    assert all("no common lock" in r.reason for r in cls.races)
+
+
+def test_flush_covers_only_pairs_it_separates():
+    # One thread's racy write/read pair with no fence between them.
+    cls = classify_litmus(((W("x", 1), R("y", "r0")), (W("y", 1), R("x", "r1"))))
+    assert cls.unfenced and not cls.synchronized
+    # A flush in one thread only: the other thread's pair stays unfenced.
+    cls = classify_litmus(
+        ((W("x", 1), FLUSH(), R("y", "r0")), (W("y", 1), R("x", "r1")))
+    )
+    assert cls.unfenced and not cls.synchronized
+
+
+def test_compute_is_not_a_shared_access():
+    ir = lower_litmus(((COMPUTE(10), W("x", 1)),))
+    assert len(ir.accesses) == 1 and ir.accesses[0].kind == "w"
+
+
+# -- report plumbing ---------------------------------------------------------
+def test_race_report_serializes():
+    cls = classification_for(TESTS["mp"])
+    doc = cls.to_dict()
+    assert doc["synchronized"] is False and doc["properly_labeled"] is False
+    assert len(doc["races"]) == 2
+    race = doc["races"][0]
+    assert {"var", "a", "b", "reason"} <= set(race)
+    assert {"thread", "index", "kind"} <= set(race["a"])
+    assert "race on" in cls.races[0].describe()
+
+
+def test_classification_counts():
+    cls = classification_for(TESTS["mp+lock"])
+    assert cls.n_threads == 2
+    assert cls.n_sync_ops == 4  # two acquire/release pairs

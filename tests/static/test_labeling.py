@@ -1,0 +1,110 @@
+"""The NP/CP-Synch labeling table: one source of truth across layers.
+
+:mod:`repro.sync.base` declares the table; the consistency models, the
+static analyzer's fence rules, and ``verified_result``'s per-run labeling
+assertion must all agree with it.
+"""
+
+import pytest
+
+from repro.consistency.models import get_model
+from repro.static.drf import lower_litmus
+from repro.sync.base import (
+    BARRIER_SYNC_LABELS,
+    CBLLock,
+    CP_SYNCH_OPS,
+    HWBarrier,
+    LOCK_SYNC_LABELS,
+    NP_SYNCH_OPS,
+    expected_label,
+    sync_labeling,
+)
+from repro.sync.swlock import SWBarrier
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.verify.litmus import ACQ, BAR, FLUSH, REL, W
+from repro.workloads.base import LOCK_FACTORIES, verified_result
+
+
+# -- the table itself --------------------------------------------------------
+def test_table_partitions_the_sync_ops():
+    assert not (NP_SYNCH_OPS & CP_SYNCH_OPS)
+    assert expected_label("acquire") == "NP-Synch"
+    for kind in ("release", "barrier", "flush"):
+        assert expected_label(kind) == "CP-Synch"
+    with pytest.raises(ValueError):
+        expected_label("compute")
+
+
+def test_every_primitive_declares_the_table():
+    for cls in LOCK_FACTORIES.values():
+        assert cls.sync_labels == LOCK_SYNC_LABELS, cls
+    for cls in (HWBarrier, SWBarrier):
+        assert cls.sync_labels == BARRIER_SYNC_LABELS, cls
+
+
+def test_mislabeled_primitive_is_rejected():
+    class Backwards:
+        sync_labels = {"acquire": "CP-Synch", "release": "NP-Synch"}
+
+    class Undeclared:
+        pass
+
+    class UnknownOp:
+        sync_labels = {"open": "NP-Synch"}
+
+    with pytest.raises(ValueError, match="acquire is labeled 'CP-Synch'"):
+        sync_labeling(Backwards())
+    with pytest.raises(ValueError, match="declares no sync_labels"):
+        sync_labeling(Undeclared())
+    with pytest.raises(ValueError, match="unknown operation 'open'"):
+        sync_labeling(UnknownOp())
+
+
+# -- the consistency models implement the table ------------------------------
+@pytest.mark.parametrize("name", ("bc", "wo", "rc"))
+def test_buffered_models_fence_every_cp_synch_op(name):
+    model = get_model(name)
+    assert model.flush_before_release  # release and barrier both fence
+
+
+@pytest.mark.parametrize("name", ("bc", "rc"))
+def test_np_synch_does_not_fence_under_the_papers_models(name):
+    # WO fences acquires too — strictly stronger than the table requires,
+    # which is the safe direction; BC and RC match the table exactly.
+    assert not get_model(name).flush_before_acquire
+
+
+# -- the analyzer derives its fence rule from the table ----------------------
+def test_lowering_fence_epochs_follow_the_table():
+    ir = lower_litmus(
+        ((W("a", 1), ACQ("L"), W("b", 1), REL("L"), W("c", 1),
+          FLUSH(), W("d", 1), BAR("x"), W("e", 1)),)
+    )
+    epochs = {a.var: a.fence_epoch for a in ir.accesses}
+    # acquire bumps nothing; release, flush, and barrier each bump.
+    assert epochs == {"a": 0, "b": 0, "c": 1, "d": 2, "e": 3}
+
+
+# -- verified_result asserts the labeling ------------------------------------
+def test_verified_result_records_and_validates_labeling():
+    machine = Machine(MachineConfig(n_nodes=4, seed=0))
+    lock = CBLLock(machine)
+    bar = HWBarrier(machine, n=4)
+    result = verified_result(
+        machine, completion_time=0.0, messages=0, flits=0,
+        sync_objects=[lock, bar],
+    )
+    assert result.extra["labeling"] == {
+        "CBLLock": LOCK_SYNC_LABELS,
+        "HWBarrier": BARRIER_SYNC_LABELS,
+    }
+
+    class RogueLock:
+        sync_labels = {"release": "NP-Synch"}
+
+    with pytest.raises(ValueError, match="RogueLock"):
+        verified_result(
+            machine, completion_time=0.0, messages=0, flits=0,
+            sync_objects=[RogueLock()],
+        )

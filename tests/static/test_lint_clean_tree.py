@@ -1,0 +1,25 @@
+"""Tier-1 wrapper: the simulator's own source must lint clean.
+
+This is the in-suite equivalent of the CI job's
+``python -m repro.static.lint src/repro`` — a determinism hazard that
+slips into the tree fails the test run, not just the lint job.
+"""
+
+import os
+
+from repro.static.lint import iter_python_files, lint_paths
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def test_simulator_source_lints_clean():
+    found = lint_paths([SRC])
+    assert not found, "\n".join(f.format() for f in found)
+
+
+def test_lint_actually_covered_the_tree():
+    # Guard against a silently-empty walk (e.g. a moved source root).
+    files = iter_python_files([SRC])
+    assert len(files) > 50
+    assert any(f.endswith("machine.py") for f in files)

@@ -1,0 +1,175 @@
+"""Per-rule unit tests for the determinism linter (:mod:`repro.static.lint`)."""
+
+import textwrap
+
+from repro.static.lint import RULES, lint_source
+
+
+def findings(source, rules=None):
+    return lint_source(textwrap.dedent(source), "mod.py", rules=rules)
+
+
+def rules_hit(source, rules=None):
+    return {f.rule for f in findings(source, rules=rules)}
+
+
+def test_rule_catalog_is_stable():
+    assert [r.name for r in RULES] == [
+        "unseeded-random",
+        "wall-clock",
+        "set-iteration",
+        "yieldless-process",
+        "ungated-trace",
+    ]
+
+
+# -- unseeded-random ---------------------------------------------------------
+def test_module_global_random_is_flagged():
+    assert rules_hit("import random\nx = random.random()\n") == {"unseeded-random"}
+    assert rules_hit("import random\nrandom.shuffle(items)\n") == {"unseeded-random"}
+
+
+def test_seedless_constructors_are_flagged():
+    assert rules_hit("r = random.Random()\n") == {"unseeded-random"}
+    assert rules_hit("g = np.random.default_rng()\n") == {"unseeded-random"}
+    assert rules_hit("x = np.random.randint(4)\n") == {"unseeded-random"}
+
+
+def test_seeded_constructions_are_clean():
+    assert not findings("r = random.Random(7)\n")
+    assert not findings("g = np.random.default_rng(7)\n")
+    assert not findings("x = rng.integers(0, 4)\n")  # a passed-in generator
+
+
+# -- wall-clock --------------------------------------------------------------
+def test_wall_clock_reads_are_flagged():
+    assert rules_hit("t = time.time()\n") == {"wall-clock"}
+    assert rules_hit("t = time.monotonic_ns()\n") == {"wall-clock"}
+    assert rules_hit("d = datetime.now()\n") == {"wall-clock"}
+
+
+def test_simulated_time_is_clean():
+    assert not findings("now = sim.now\n")
+    assert not findings("t = time.sleep\n")  # attribute load, not a call
+
+
+# -- set-iteration -----------------------------------------------------------
+def test_set_iteration_is_flagged_in_loops_and_comprehensions():
+    assert rules_hit("for s in {1, 2}:\n    pass\n") == {"set-iteration"}
+    assert rules_hit("xs = [f(s) for s in set(items)]\n") == {"set-iteration"}
+    assert rules_hit("for s in a.union(b):\n    pass\n") == {"set-iteration"}
+    assert rules_hit("for s in entry.sharers:\n    pass\n") == {"set-iteration"}
+
+
+def test_set_local_dataflow_is_tracked_within_a_function():
+    src = """
+    def fanout(entry):
+        targets = set(entry.ids)
+        for t in targets:
+            send(t)
+    """
+    assert rules_hit(src) == {"set-iteration"}
+
+
+def test_sorted_sets_and_dicts_are_clean():
+    assert not findings("for s in sorted(entry.sharers):\n    pass\n")
+    assert not findings("for k in mapping:\n    pass\n")  # dicts are ordered
+    assert not findings("for k, v in mapping.items():\n    pass\n")
+
+
+def test_set_operator_expression_is_flagged():
+    src = "for n in set(a) | set(b):\n    pass\n"
+    assert "set-iteration" in rules_hit(src)
+
+
+# -- yieldless-process -------------------------------------------------------
+def test_spawn_of_yieldless_function_is_flagged():
+    src = """
+    def worker(proc):
+        proc.tick()
+
+    machine.spawn(worker(p))
+    """
+    assert rules_hit(src) == {"yieldless-process"}
+
+
+def test_spawn_of_generator_is_clean():
+    src = """
+    def worker(proc):
+        yield from proc.compute(5)
+
+    machine.spawn(worker(p))
+    """
+    assert not findings(src)
+
+
+def test_spawn_of_unknown_callable_is_not_guessed_about():
+    # The target is defined elsewhere; the rule stays silent rather than
+    # reporting a false positive.
+    assert not findings("machine.spawn(imported_worker(p))\n")
+
+
+# -- ungated-trace -----------------------------------------------------------
+def test_ungated_emission_is_flagged():
+    assert rules_hit("obs.instant('evt', t=1)\n") == {"ungated-trace"}
+    src = """
+    def f(self):
+        self.obs.counter("hits", 1)
+    """
+    assert rules_hit(src) == {"ungated-trace"}
+
+
+def test_gated_emission_is_clean():
+    src = """
+    if obs is not None:
+        obs.instant("evt", t=1)
+    """
+    assert not findings(src)
+    src = """
+    def f(self):
+        if self.obs is not None:
+            self.obs.span("phase", 1, 2)
+    """
+    assert not findings(src)
+
+
+def test_other_receivers_are_ignored():
+    assert not findings("tracer.instant('evt')\n")  # not the obs bus
+
+
+# -- suppression -------------------------------------------------------------
+def test_same_line_suppression():
+    assert not findings("t = time.time()  # lint-ok: wall-clock (reporting)\n")
+
+
+def test_comment_line_suppression_covers_next_line():
+    src = "# lint-ok: wall-clock (budget code)\nt = time.time()\n"
+    assert not findings(src)
+
+
+def test_suppression_is_per_rule():
+    src = "t = time.time()  # lint-ok: unseeded-random\n"
+    assert rules_hit(src) == {"wall-clock"}  # wrong rule name: not covered
+
+
+def test_multi_rule_suppression():
+    src = "xs = [time.time() for s in set(a)]  # lint-ok: wall-clock, set-iteration\n"
+    assert not findings(src)
+
+
+# -- driver plumbing ---------------------------------------------------------
+def test_rule_subset_restricts_checks():
+    src = "t = time.time()\nfor s in set(a):\n    pass\n"
+    assert rules_hit(src, rules=["wall-clock"]) == {"wall-clock"}
+
+
+def test_syntax_error_becomes_a_finding():
+    out = findings("def broken(:\n")
+    assert [f.rule for f in out] == ["syntax-error"]
+
+
+def test_finding_format_and_sort():
+    out = findings("t = time.time()\nx = random.random()\n")
+    assert [f.line for f in out] == [1, 2]
+    assert out[0].format().startswith("mod.py:1:")
+    assert "[wall-clock]" in out[0].format()
