@@ -1,0 +1,42 @@
+"""Axiomatic memory-model checker (herd-style) for the simulator.
+
+Litmus programs are lowered to event graphs (reusing the DRF analyzer's
+IR), candidate executions — reads-from, coherence order, lock order —
+are enumerated with incremental acyclicity pruning, and the paper's
+consistency models are applied as relational axioms over po, rf, co, fr
+and the fence/sync edges derived from the NP/CP-Synch labeling table.
+
+Public surface:
+
+* :func:`allowed_outcomes` — the axiomatic allowed-outcome set of a
+  litmus test under one model × protocol;
+* :func:`run_gate` — the three-way differential (axiomatic vs the
+  litmus oracle's closed form vs operationally observed outcomes);
+* :func:`axiom_consume_allowed` — the fuzzer's consume oracle derived
+  from the event graph (``--oracle axiom``);
+* ``python -m repro.axiom`` — the CLI gate with JSON verdicts.
+"""
+
+from .check import allowed_outcomes, count_executions
+from .differential import GateReport, GateRow, run_gate
+from .enumerate import Execution, allowed_outcomes_for_graph, enumerate_executions
+from .events import Event, EventGraph, litmus_event_graph
+from .fuzzoracle import axiom_consume_allowed
+from .model import AxModel, ax_model_for
+
+__all__ = [
+    "AxModel",
+    "ax_model_for",
+    "Event",
+    "EventGraph",
+    "litmus_event_graph",
+    "Execution",
+    "enumerate_executions",
+    "allowed_outcomes_for_graph",
+    "allowed_outcomes",
+    "count_executions",
+    "GateRow",
+    "GateReport",
+    "run_gate",
+    "axiom_consume_allowed",
+]

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.axiom``."""
+
+from .cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Top-level axiomatic queries over the litmus corpus.
+
+:func:`allowed_outcomes` is the checker's public entry point: the set of
+outcomes the axioms admit for a litmus test under one consistency model
+and protocol.  Results are cached per (test, model name, protocol) —
+enumeration is exact and deterministic, so the cache is safe for the
+whole process lifetime (litmus tests are frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING, Union
+
+from ..consistency.models import ConsistencyModel
+from .enumerate import allowed_outcomes_for_graph, enumerate_executions
+from .events import litmus_event_graph
+from .model import ax_model_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..verify.litmus import LitmusTest
+
+__all__ = ["allowed_outcomes", "count_executions"]
+
+
+@lru_cache(maxsize=None)
+def _cached_outcomes(test: "LitmusTest", model_name: str, protocol: str) -> frozenset:
+    ax = ax_model_for(model_name, protocol)
+    return allowed_outcomes_for_graph(
+        litmus_event_graph(test), ax, finals=test.finals
+    )
+
+
+def allowed_outcomes(
+    test: "LitmusTest",
+    model: Union[str, ConsistencyModel],
+    protocol: str = "primitives",
+) -> frozenset:
+    """Outcomes the axioms admit for ``test`` under ``model`` × ``protocol``."""
+    if isinstance(model, str):
+        return _cached_outcomes(test, model, protocol)
+    ax = ax_model_for(model, protocol)
+    return allowed_outcomes_for_graph(
+        litmus_event_graph(test), ax, finals=test.finals
+    )
+
+
+def count_executions(
+    test: "LitmusTest",
+    model: Union[str, ConsistencyModel],
+    protocol: str = "primitives",
+) -> int:
+    """Number of consistent candidate executions (for reports/tests)."""
+    ax = ax_model_for(model, protocol)
+    return sum(
+        1
+        for _ in enumerate_executions(
+            litmus_event_graph(test), ax, finals=test.finals
+        )
+    )

@@ -1,0 +1,90 @@
+"""CLI for the axiomatic checker: ``python -m repro.axiom``.
+
+With no arguments, runs the full three-way differential gate (axiomatic
+vs closed-form vs observed) over the litmus corpus and prints one line
+per combination; ``--test``/``--model``/``--protocol`` restrict the
+sweep, ``--no-observe`` skips the operational runs (exact comparison
+only), ``--json`` writes the verdicts as a machine-readable artifact.
+
+Exit codes (pinned by tests): **0** = gate passed, **1** = a mismatch or
+soundness violation was found, **2** = bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .differential import run_gate
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from ..verify.litmus import LITMUS_TESTS, MODELS, PROTOCOLS
+
+    by_name = {t.name: t for t in LITMUS_TESTS}
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.axiom",
+        description="Axiomatic memory-model checker: enumerate candidate "
+        "executions of the litmus corpus and run the three-way differential "
+        "gate (axiomatic vs closed-form vs observed outcomes).",
+    )
+    parser.add_argument(
+        "--test", action="append", choices=sorted(by_name), default=None,
+        help="restrict to one litmus test (repeatable)",
+    )
+    parser.add_argument(
+        "--model", action="append", choices=MODELS, default=None,
+        help="restrict to one consistency model (repeatable)",
+    )
+    parser.add_argument(
+        "--protocol", action="append", choices=PROTOCOLS, default=None,
+        help="restrict to one protocol (repeatable)",
+    )
+    parser.add_argument(
+        "--no-observe", action="store_true",
+        help="skip the operational sweeps (axiomatic vs closed-form only)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3,
+        help="machine seeds per observed sweep (default 3)",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the verdict rows as JSON")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+
+    tests = (
+        [by_name[name] for name in args.test] if args.test else None
+    )
+    report = run_gate(
+        tests=tests,
+        protocols=tuple(args.protocol) if args.protocol else None,
+        models=tuple(args.model) if args.model else MODELS,
+        observe=not args.no_observe,
+        seeds=range(args.seeds),
+    )
+    if not args.quiet:
+        for row in report.rows:
+            print(row.describe())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"verdicts written to {args.json}")
+    bad = report.mismatches()
+    if bad:
+        print(
+            f"axiom gate FAILED: {len(bad)} of {len(report.rows)} "
+            "combination(s) mismatched",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.quiet:
+        print(f"axiom gate OK: {len(report.rows)} combination(s) agree")
+    return 0

@@ -1,0 +1,403 @@
+"""Candidate-execution enumeration under the relational axioms.
+
+A **candidate execution** of an event graph fixes three choices:
+
+* a per-lock total order of critical-section instances (which generates
+  the release→acquire synchronizes-with edges),
+* a coherence order ``co`` per location (a linear order on its writes,
+  with the virtual init write first), and
+* a reads-from map ``rf`` (each read paired with a write to its
+  location).
+
+A candidate is **consistent** — and its outcome allowed — when it
+passes the axioms:
+
+1. **ghb acyclicity**: the global happens-before relation — ppo and
+   rendezvous edges (:meth:`EventGraph.base_edges`), synchronizes-with,
+   ``co``, plus ``rf`` and ``fr`` restricted to *global* (non-cached)
+   reads — is acyclic.  Global reads block until the home replies, so
+   their value pins real time; cached reads may return stale values and
+   contribute no global edges.
+2. **per-location coherence**: for every location,
+   ``po-loc ∪ rf ∪ co ∪ fr`` is acyclic — all reads included.  The
+   machine serializes each word at its home and delivers READ-UPDATE
+   pushes over FIFO channels, so even a stale cache never runs
+   backwards.
+3. **strict-ack visibility**: a cached read ``r`` must not read
+   coherence-before any write ``w`` whose own thread executes a
+   draining fence after ``w`` that happens-before ``r``.  Under
+   ``strict_global_ack`` (the default) a write's ack — and therefore
+   any later fence completion in the writer's thread — waits for the
+   subscriber pushes, so by the time ``r`` runs its cache holds ``w``
+   or something coherence-newer.
+
+Enumeration prunes incrementally: a cyclic base+sw graph kills every
+coherence choice, a cyclic base+sw+co graph kills every rf choice, and
+rf candidates are filtered per read against the transitive closure
+(a global read must read the coherence-newest write that reaches it,
+and nothing may read a write it reaches).  The full axioms run only on
+the survivors, so the classic 2–4-thread litmus shapes stay well under
+a few hundred candidate executions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .events import EventGraph
+from .model import AxModel
+
+__all__ = ["Execution", "enumerate_executions", "allowed_outcomes_for_graph"]
+
+#: An outcome in the litmus engine's canonical form.
+Outcome = Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One consistent candidate execution and its outcome."""
+
+    rf: Tuple[Tuple[int, int], ...]  #: (read eid, write eid) pairs
+    co: Tuple[Tuple[str, Tuple[int, ...]], ...]  #: var → write eids, init first
+    lock_order: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    outcome: Outcome
+
+
+class _ValueCycle(Exception):
+    """rf/dep value resolution hit a cycle (execution is inconsistent)."""
+
+
+# --------------------------------------------------------------------------
+# Small graph utilities (node counts here are a few dozen at most)
+# --------------------------------------------------------------------------
+
+def _topo(n: int, edges: Sequence[Tuple[int, int]]) -> Optional[List[int]]:
+    """Topological order of 0..n-1 under ``edges``; None if cyclic."""
+    adj: List[List[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for a, b in edges:
+        adj[a].append(b)
+        indeg[b] += 1
+    ready = [v for v in range(n) if indeg[v] == 0]
+    order: List[int] = []
+    while ready:
+        v = ready.pop()
+        order.append(v)
+        for w in adj[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    return order if len(order) == n else None
+
+
+def _closure(
+    n: int, edges: Sequence[Tuple[int, int]]
+) -> Optional[List[int]]:
+    """Reachability bitmasks (reach[v] includes v); None if cyclic."""
+    order = _topo(n, edges)
+    if order is None:
+        return None
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for a, b in edges:
+        adj[a].append(b)
+    reach = [0] * n
+    for v in reversed(order):
+        bits = 1 << v
+        for w in adj[v]:
+            bits |= reach[w]
+        reach[v] = bits
+    return reach
+
+
+def _reaches(reach: List[int], a: int, b: int) -> bool:
+    return a != b and bool((reach[a] >> b) & 1)
+
+
+def _acyclic(n: int, edges: Sequence[Tuple[int, int]]) -> bool:
+    return _topo(n, edges) is not None
+
+
+# --------------------------------------------------------------------------
+# Choice generators
+# --------------------------------------------------------------------------
+
+def _lock_orders(g: EventGraph) -> Iterator[Dict[str, Tuple[int, ...]]]:
+    """Every per-lock total order of critical sections.
+
+    Same-thread sections keep program order, and a section that never
+    releases can only come last (nobody could acquire after it).
+    """
+
+    def valid(secs, perm) -> bool:
+        for pos, ci in enumerate(perm):
+            if secs[ci].rel is None and pos != len(perm) - 1:
+                return False
+        for x, y in itertools.combinations(perm, 2):
+            a, b = secs[x], secs[y]
+            if a.thread == b.thread and a.acq > b.acq:
+                return False
+        return True
+
+    per_lock: List[Tuple[str, List[Tuple[int, ...]]]] = []
+    for lock in sorted(g.sections):
+        secs = g.sections[lock]
+        perms = [
+            p
+            for p in itertools.permutations(range(len(secs)))
+            if valid(secs, p)
+        ]
+        per_lock.append((lock, perms))
+    for combo in itertools.product(*(perms for _, perms in per_lock)):
+        yield {lock: perm for (lock, _), perm in zip(per_lock, combo)}
+
+
+def _co_orders(
+    writes: Sequence[int], reach: List[int]
+) -> Iterator[Tuple[int, ...]]:
+    """Linear extensions of the happens-before partial order on writes."""
+    if not writes:
+        yield ()
+        return
+    pred: Dict[int, set] = {
+        w: {v for v in writes if v != w and _reaches(reach, v, w)}
+        for w in writes
+    }
+
+    def extend(placed: Tuple[int, ...], done: frozenset):
+        if len(placed) == len(writes):
+            yield placed
+            return
+        for w in writes:
+            if w in done or not pred[w] <= done:
+                continue
+            yield from extend(placed + (w,), done | {w})
+
+    yield from extend((), frozenset())
+
+
+# --------------------------------------------------------------------------
+# Per-candidate machinery
+# --------------------------------------------------------------------------
+
+def _read_candidates(
+    g: EventGraph,
+    ax: AxModel,
+    reach: List[int],
+    issue: List[int],
+    co_of: Dict[str, Tuple[int, ...]],
+) -> Optional[Dict[int, List[int]]]:
+    """rf candidates per read under static pruning; None if any read has none.
+
+    ``co_of[var]`` includes the init write at position 0.  A global read
+    must read at least the coherence-newest write that happens-before it.
+    A cached read's floor is the strict-ack visibility bound: writes
+    forced into its cache by a draining fence in the writer's thread —
+    or, when writes are not delayed (SC / no buffer), by the write's own
+    stall, so plain happens-before forces visibility too.
+
+    Future exclusion uses the **issue-order** closure ``issue`` (full
+    program order, even past delayed writes): a write buffered at its po
+    point cannot be observed by any read that completes before the write
+    issues — being delayed postpones a write's *performance*, never its
+    *issue*.
+    """
+
+    def writer_fence_covers(w_eid: int, r_eid: int) -> bool:
+        w = g.events[w_eid]
+        if w.thread < 0:
+            return False
+        seq = g.threads[w.thread]
+        return any(
+            _reaches(reach, f, r_eid)
+            for f in seq[w.pos + 1 :]
+            if g.events[f].kind in ax.drain_kinds
+        )
+
+    cands: Dict[int, List[int]] = {}
+    for r_eid in g.reads():
+        r = g.events[r_eid]
+        co = co_of[r.var]
+        pos_of = {w: i for i, w in enumerate(co)}
+        floor = 0
+        for w in co:
+            if r.is_cached_read and ax.delay_shared_writes:
+                forced = writer_fence_covers(w, r_eid)
+            else:
+                forced = _reaches(reach, w, r_eid)
+            if forced:
+                floor = max(floor, pos_of[w])
+        options = [w for w in co[floor:] if not _reaches(issue, r_eid, w)]
+        if not options:
+            return None
+        cands[r_eid] = options
+    return cands
+
+
+def _rf_fr_edges(
+    g: EventGraph,
+    rf: Dict[int, int],
+    co_of: Dict[str, Tuple[int, ...]],
+    cached_too: bool,
+) -> List[Tuple[int, int]]:
+    """rf plus from-read edges (read → immediate co-successor of its write)."""
+    edges: List[Tuple[int, int]] = []
+    for r_eid, w_eid in rf.items():
+        if not cached_too and g.events[r_eid].is_cached_read:
+            continue
+        edges.append((w_eid, r_eid))
+        co = co_of[g.events[r_eid].var]
+        i = co.index(w_eid)
+        if i + 1 < len(co):
+            edges.append((r_eid, co[i + 1]))
+    return edges
+
+
+def _coherent_per_location(
+    g: EventGraph,
+    rf: Dict[int, int],
+    co_of: Dict[str, Tuple[int, ...]],
+) -> bool:
+    """Axiom 2: acyclic(po-loc ∪ rf ∪ co ∪ fr) at every location."""
+    for var in g.locations():
+        nodes = [
+            e.eid for e in g.events if e.is_access and e.var == var
+        ] + [g.init_of[var]]
+        index = {eid: i for i, eid in enumerate(nodes)}
+        edges: List[Tuple[int, int]] = []
+        for seq in g.threads:
+            loc = [eid for eid in seq if eid in index]
+            edges.extend(zip(loc, loc[1:]))
+        co = co_of[var]
+        edges.extend(zip(co, co[1:]))
+        for r_eid, w_eid in rf.items():
+            if g.events[r_eid].var != var:
+                continue
+            edges.append((w_eid, r_eid))
+            i = co.index(w_eid)
+            if i + 1 < len(co):
+                edges.append((r_eid, co[i + 1]))
+        if not _acyclic(
+            len(nodes), [(index[a], index[b]) for a, b in edges]
+        ):
+            return False
+    return True
+
+
+def _resolve_values(g: EventGraph, rf: Dict[int, int]) -> Dict[int, int]:
+    """Value of every access: writes store, reads copy, inc adds one."""
+    values: Dict[int, int] = {}
+
+    def value_of(eid: int, active: frozenset) -> int:
+        if eid in values:
+            return values[eid]
+        if eid in active:
+            raise _ValueCycle
+        e = g.events[eid]
+        active = active | {eid}
+        if e.is_write and e.value is not None:
+            v = e.value
+        elif e.kind == "inc.write":
+            v = value_of(rf[e.dep], active) + 1
+        elif e.is_read:
+            v = value_of(rf[eid], active)
+        else:  # pragma: no cover - only accesses are resolved
+            raise ValueError(f"no value for event {e.describe()}")
+        values[eid] = v
+        return v
+
+    for e in g.events:
+        if e.is_access:
+            value_of(e.eid, frozenset())
+    return values
+
+
+def _outcome(
+    g: EventGraph,
+    values: Dict[int, int],
+    co_of: Dict[str, Tuple[int, ...]],
+    finals: Sequence[str],
+) -> Outcome:
+    out: Dict[str, int] = {}
+    for seq in g.threads:
+        for eid in seq:
+            e = g.events[eid]
+            if e.is_read and e.reg:
+                out[e.reg] = values[eid]
+    for var in finals:
+        out[f"{var}!"] = values[co_of[var][-1]]
+    return tuple(sorted(out.items()))
+
+
+# --------------------------------------------------------------------------
+# The enumerator
+# --------------------------------------------------------------------------
+
+def enumerate_executions(
+    g: EventGraph, ax: AxModel, finals: Sequence[str] = ()
+) -> Iterator[Execution]:
+    """Yield every consistent candidate execution of ``g`` under ``ax``."""
+    base = g.base_edges(ax)
+    po_full = [
+        (a, b) for seq in g.threads for a, b in zip(seq, seq[1:])
+    ]
+    n = g.n
+    for lock_order in _lock_orders(g):
+        sw = g.sw_edges(lock_order)
+        static = base + sw
+        reach0 = _closure(n, static)
+        if reach0 is None:
+            continue  # prune: every co/rf refinement inherits the cycle
+        # Issue order: full po even past delayed writes (a buffered write
+        # issues at its program point; only its performance is delayed).
+        # A cycle here means this lock order needs an event to issue
+        # before something that must complete first — impossible.
+        issue = _closure(n, static + po_full)
+        if issue is None:
+            continue
+        per_var = [
+            (var, list(_co_orders(g.writes_of(var), reach0)))
+            for var in g.locations()
+        ]
+        for combo in itertools.product(*(orders for _, orders in per_var)):
+            co_of = {
+                var: (g.init_of[var],) + order
+                for (var, _), order in zip(per_var, combo)
+            }
+            co_edges = [
+                e for co in co_of.values() for e in zip(co, co[1:])
+            ]
+            reach = _closure(n, static + co_edges)
+            if reach is None:
+                continue  # prune: co contradicts happens-before
+            cands = _read_candidates(g, ax, reach, issue, co_of)
+            if cands is None:
+                continue
+            reads = sorted(cands)
+            for choice in itertools.product(*(cands[r] for r in reads)):
+                rf = dict(zip(reads, choice))
+                ghb = static + co_edges + _rf_fr_edges(g, rf, co_of, cached_too=False)
+                if not _acyclic(n, ghb):
+                    continue
+                if not _coherent_per_location(g, rf, co_of):
+                    continue
+                try:
+                    values = _resolve_values(g, rf)
+                except _ValueCycle:
+                    continue
+                yield Execution(
+                    rf=tuple(sorted(rf.items())),
+                    co=tuple(sorted((v, c) for v, c in co_of.items())),
+                    lock_order=tuple(sorted(lock_order.items())),
+                    outcome=_outcome(g, values, co_of, finals),
+                )
+
+
+def allowed_outcomes_for_graph(
+    g: EventGraph, ax: AxModel, finals: Sequence[str] = ()
+) -> frozenset:
+    """The set of outcomes over all consistent executions."""
+    return frozenset(
+        ex.outcome for ex in enumerate_executions(g, ax, finals)
+    )

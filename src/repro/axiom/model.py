@@ -1,0 +1,86 @@
+"""Axiomatic consistency models: the relational view of the flag objects.
+
+An :class:`AxModel` is the *declarative* counterpart of a
+:class:`repro.consistency.models.ConsistencyModel` policy object on one
+protocol.  Exactly two facts about a (model, protocol) pair matter to
+the axioms:
+
+``delay_shared_writes``
+    Whether a shared write may be delayed past later same-thread
+    operations.  True only on the ``primitives`` machine (the only one
+    with a write buffer) under a model that does not stall shared writes
+    — the WBI and write-update comparators issue coherent writes that
+    are strongly ordered by construction, and SC stalls until each write
+    is globally performed.
+
+``drain_kinds``
+    Which synchronization event kinds drain the buffer, straight from
+    the NP/CP-Synch labeling table (:func:`repro.sync.base.draining_kinds`):
+    release/barrier/flush always, acquire only under WO's
+    ``flush_before_acquire``.
+
+Notably *absent* is the releaser's completion ack
+(``release_wants_ack``): whether the releasing processor waits for the
+home's ack changes latency, not visibility — by the time any other
+thread can observe the release (a later acquire of the same lock), the
+release's drain has already flushed the buffer either way.  BC and RC
+are therefore the same axiomatic model over this vocabulary, which is
+the paper's point about BC: the ack is the only difference, and it buys
+nothing for properly-labeled programs.
+
+The derived inclusion chain over allowed-outcome sets is
+
+    A(sc) ⊆ A(wo) ⊆ A(rc) = A(bc)
+
+(wo's draining acquire can only remove executions relative to rc/bc) —
+checked as a property test in ``tests/axiom/test_properties.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..consistency.models import ConsistencyModel, get_model
+from ..sync.base import draining_kinds
+
+__all__ = ["AxModel", "ax_model_for"]
+
+
+@dataclass(frozen=True)
+class AxModel:
+    """The two relational parameters the axioms consume."""
+
+    name: str
+    delay_shared_writes: bool
+    drain_kinds: frozenset
+
+    def describe(self) -> str:
+        if not self.delay_shared_writes:
+            return f"{self.name}: program order fully preserved"
+        return (
+            f"{self.name}: shared writes delayed, drained by "
+            f"{{{', '.join(sorted(self.drain_kinds))}}}"
+        )
+
+
+def ax_model_for(
+    model: Union[str, ConsistencyModel], protocol: str = "primitives"
+) -> AxModel:
+    """The axiomatic model of ``model`` running on ``protocol``.
+
+    Works for the registered models (sc/bc/wo/rc) and for fault models:
+    a fault model that drops the release fence simply loses
+    release/barrier from its drain set, so the axioms predict its
+    violations rather than assuming the labeling table holds.
+    """
+    m = get_model(model) if isinstance(model, str) else model
+    delay = protocol == "primitives" and not m.stall_on_shared_write
+    drains = draining_kinds(m.flush_before_acquire)
+    if not m.flush_before_release:
+        # A (fault) model that skips the CP-Synch fence: release and
+        # barrier no longer drain.  FLUSH-BUFFER is the instruction
+        # itself, never model-gated.
+        drains = (drains - {"release", "barrier"}) | {"flush"}
+    name = f"{m.name}@{protocol}"
+    return AxModel(name=name, delay_shared_writes=delay, drain_kinds=drains)

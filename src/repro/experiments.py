@@ -111,6 +111,24 @@ def table3_point(n: int, scheme: str) -> Dict[str, float]:
     return {"time": m.sim.now, "messages": m.net.message_count}
 
 
+def conformance_point(
+    test: str, protocol: str, model: str, seeds: int, jitters: List[float]
+) -> list:
+    """Observed litmus outcomes for one three-way-gate row (JSON-safe).
+
+    The axiomatic and closed-form columns of the gate are exact and
+    instant; only the operational sweep simulates, so only it goes
+    through the sweep runner (and its cache).
+    """
+    from .verify.litmus import LITMUS_TESTS, observe_outcomes
+
+    t = next(lt for lt in LITMUS_TESTS if lt.name == test)
+    observed = observe_outcomes(
+        t, protocol, model, seeds=range(seeds), jitters=tuple(jitters)
+    )
+    return sorted([list(pair) for pair in out] for out in observed)
+
+
 def fft_point(selective: bool) -> int:
     """FFT RESET-UPDATE ablation: total update messages."""
     r = run_fft(8, selective=selective, cache_blocks=256, cache_assoc=2)
@@ -184,6 +202,23 @@ def _plan(quick: bool) -> Tuple[Dict[Tuple, SweepTask], dict]:
         tasks[("fft", selective)] = SweepTask(
             f"{_MODULE}:fft_point", {"selective": selective}
         )
+    from .verify.litmus import LITMUS_TESTS, PROTOCOLS
+
+    for test in LITMUS_TESTS:
+        for protocol in PROTOCOLS:
+            if protocol not in test.protocols:
+                continue
+            for model in ("sc", "bc", "wo", "rc"):
+                tasks[("axiom", test.name, protocol, model)] = SweepTask(
+                    f"{_MODULE}:conformance_point",
+                    {
+                        "test": test.name,
+                        "protocol": protocol,
+                        "model": model,
+                        "seeds": 3,
+                        "jitters": [0.0, 2.0],
+                    },
+                )
     return tasks, shape
 
 
@@ -291,6 +326,42 @@ def report_extensions(out: IO[str], res) -> None:
     )
 
 
+def report_conformance(out: IO[str], res) -> None:
+    """Three-way memory-model conformance (DESIGN.md §9).
+
+    The observed column's sweeps were dispatched as
+    :func:`conformance_point` tasks with everything else; here they are
+    deserialized and handed to :func:`repro.axiom.run_gate` as a
+    precomputed observer, so the exact columns stay in-process and the
+    simulation cost shares the report's parallelism and cache.
+    """
+    from .axiom import run_gate
+
+    def observer(test, protocol, model, seeds, jitters):
+        doc = res[("axiom", test.name, protocol, model)]
+        return frozenset(
+            tuple((reg, val) for reg, val in out) for out in doc
+        )
+
+    report = run_gate(seeds=range(3), jitters=(0.0, 2.0), observer=observer)
+    out.write("## Memory-model conformance (three-way gate)\n\n")
+    out.write(
+        "Allowed-outcome set sizes per litmus test and model on the\n"
+        "buffered machine (`primitives`): axiomatic enumeration vs. the\n"
+        "DRF-derived closed form vs. observed seeded runs.  The gate\n"
+        "requires `axiomatic == closed-form` and `observed ⊆ axiomatic`\n"
+        "on every row (`python -m repro.axiom`).\n\n"
+    )
+    out.write(report.markdown_table())
+    out.write(
+        "\nGate verdict: **{}** — {} row(s), {} mismatch(es).\n\n".format(
+            "ok" if report.ok else "FAILED",
+            len(report.rows),
+            len(report.mismatches()),
+        )
+    )
+
+
 def run_report(
     out: IO[str],
     quick: bool = False,
@@ -328,6 +399,7 @@ def run_report(
     report_figures_45(out, ns, res)
     report_figures_67(out, ns, res)
     report_extensions(out, res)
+    report_conformance(out, res)
     out.write(
         # lint-ok: wall-clock (report generation time, not sim state)
         f"\n_Total generation time: {time.time() - t0:.1f}s wall-clock._\n"

@@ -172,6 +172,12 @@ class Classification:
     #: Same-thread program-order pairs of race-involved accesses with no
     #: CP-Synch fence between them, as (thread, index_a, index_b).
     unfenced: Tuple[Tuple[int, int, int], ...]
+    #: Same-thread pairs (thread, index_write, index_later) where a racy
+    #: *write* can actually be buffered past a later racy access to a
+    #: *different* location: no CP-Synch fence between them and no
+    #: intervening home-bound access to the write's own location (the
+    #: per-word buffer chain would force the write to perform first).
+    relaxable_pairs: Tuple[Tuple[int, int, int], ...] = ()
     n_threads: int = 0
     n_accesses: int = 0
     n_sync_ops: int = 0
@@ -187,15 +193,29 @@ class Classification:
         properly labeled, or every racy access pair fence-separated."""
         return not self.races or not self.unfenced
 
+    @property
+    def relaxable(self) -> bool:
+        """A write-buffer delay can produce a non-SC outcome.
+
+        Stronger than ``not synchronized``: the machine's only relaxation
+        is a buffered shared write completing late, so a racy program with
+        no delayable write→access pair (e.g. read-first shapes like LB or
+        single-location tests like CoRR) still admits only SC outcomes.
+        ``relaxable`` implies ``not synchronized``; the converse is false.
+        """
+        return bool(self.relaxable_pairs)
+
     def to_dict(self) -> dict:
         return {
             "properly_labeled": self.properly_labeled,
             "synchronized": self.synchronized,
+            "relaxable": self.relaxable,
             "n_threads": self.n_threads,
             "n_accesses": self.n_accesses,
             "n_sync_ops": self.n_sync_ops,
             "races": [r.to_dict() for r in self.races],
             "unfenced": [list(p) for p in self.unfenced],
+            "relaxable_pairs": [list(p) for p in self.relaxable_pairs],
         }
 
 
@@ -400,9 +420,37 @@ def classify_ir(ir: ProgramIR) -> Classification:
             if x.fence_epoch == y.fence_epoch and x.index != y.index:
                 unfenced.append((t, x.index, y.index))
 
+    # Which unfenced shapes can the write buffer actually reorder?  A
+    # racy write may be delayed past a later access only while no
+    # CP-Synch fence and no home-bound access to the write's own word
+    # intervenes (the per-word chain issues same-word entries in order
+    # and drains on any blocking same-word read; a plain cached read
+    # never touches the home, so it bounds nothing).  Only a *racy*
+    # access to a *different* location past the delayed write makes the
+    # reordering observable.
+    relaxable_pairs: List[Tuple[int, int, int]] = []
+    all_by_thread: Dict[int, List[Tuple[int, Access]]] = {}
+    for k, acc in enumerate(ir.accesses):
+        all_by_thread.setdefault(acc.thread, []).append((k, acc))
+    for t, items in sorted(all_by_thread.items()):
+        items.sort(key=lambda ka: ka[1].index)
+        for pos, (gi, a) in enumerate(items):
+            if gi not in racy_ids or not a.is_write:
+                continue
+            for gj, b in items[pos + 1 :]:
+                if b.fence_epoch != a.fence_epoch:
+                    break
+                if b.var == a.var:
+                    if not b.is_write and b.kind != "cr":
+                        break  # blocking same-word read forces performance
+                    continue
+                if gj in racy_ids:
+                    relaxable_pairs.append((t, a.index, b.index))
+
     return Classification(
         races=tuple(races),
         unfenced=tuple(unfenced),
+        relaxable_pairs=tuple(relaxable_pairs),
         n_threads=ir.n_threads,
         n_accesses=len(ir.accesses),
         n_sync_ops=ir.n_sync_ops,

@@ -22,6 +22,7 @@ __all__ = [
     "LOCK_SYNC_LABELS",
     "BARRIER_SYNC_LABELS",
     "expected_label",
+    "draining_kinds",
     "sync_labeling",
 ]
 
@@ -55,6 +56,22 @@ def expected_label(kind: str) -> str:
     if kind in CP_SYNCH_OPS:
         return "CP-Synch"
     raise ValueError(f"{kind!r} is not a synchronization operation kind")
+
+
+def draining_kinds(flush_before_acquire: bool = False) -> frozenset:
+    """The synchronization operation kinds that drain the write buffer.
+
+    Every CP-Synch operation drains under every buffered model (that is
+    what CP-Synch *means* in the labeling table).  An NP-Synch acquire
+    drains only when the model asks for it (WO's ``flush_before_acquire``);
+    BC and RC let an acquire issue past a non-empty buffer.  The axiomatic
+    checker (:mod:`repro.axiom`) derives its fence edges from this helper
+    so the relational model and the machine share one table.
+    """
+    kinds = CP_SYNCH_OPS
+    if flush_before_acquire:
+        kinds = kinds | NP_SYNCH_OPS
+    return kinds
 
 
 def sync_labeling(obj) -> dict:

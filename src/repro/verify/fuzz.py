@@ -255,6 +255,7 @@ def run_program(
     trace_path: Optional[str] = None,
     fast_path: Optional[bool] = None,
     on_machine: Optional[Callable[["Machine"], None]] = None,
+    oracle: str = "drf",
 ) -> Optional[str]:
     """Execute ``program`` once and run every oracle.
 
@@ -270,7 +271,19 @@ def run_program(
     process default) and ``on_machine`` receives the finished machine —
     together they let the kernel-equivalence suite replay one program under
     both disciplines and compare metrics/traces bit-for-bit.
+
+    ``oracle`` selects the consume-allowed oracle: ``"drf"`` (default) is
+    the DRF analyzer's derived partition, ``"axiom"`` recomputes the same
+    sets from the axiomatic checker's event-graph closure
+    (:func:`repro.axiom.axiom_consume_allowed`) — an independent
+    derivation the agreement tests pin against each other.
     """
+    if oracle not in ("drf", "axiom"):
+        raise ValueError(f"unknown consume oracle {oracle!r}")
+    if oracle == "axiom":
+        from ..axiom import axiom_consume_allowed as _consume_allowed
+    else:
+        _consume_allowed = consume_allowed
     n_nodes = max(4, _next_pow2(program.n_threads + 1))
     cfg = MachineConfig(
         n_nodes=n_nodes, cache_blocks=64, cache_assoc=2, seed=seed,
@@ -376,7 +389,7 @@ def run_program(
     # exemption.
     if protocol != "writeupdate":
         for ri, reader, target, value in consumes:
-            allowed = consume_allowed(program, ri, target)
+            allowed = _consume_allowed(program, ri, target)
             if value not in allowed:
                 failures.append(
                     f"stale consume: thread {reader} round {ri} read slot of "
@@ -545,6 +558,7 @@ def make_failure_oracle(
     jitter: float,
     jitter_prob: float = 0.25,
     faults: Optional[FaultSpec] = None,
+    oracle: str = "drf",
 ) -> Callable[[Program], Optional[str]]:
     """A deterministic ``fails(program)`` probing several machine seeds."""
 
@@ -558,6 +572,7 @@ def make_failure_oracle(
                 jitter=jitter,
                 jitter_prob=jitter_prob,
                 faults=faults,
+                oracle=oracle,
             )
             if failure is not None:
                 return f"seed {seed}: {failure}"
@@ -660,6 +675,7 @@ def fuzz(
     max_wall_seconds: Optional[float] = None,
     verbose: bool = False,
     log: Callable[[str], None] = lambda s: None,
+    oracle: str = "drf",
 ) -> FuzzReport:
     """Run a bounded fuzz budget; stops at the first (shrunk) failure.
 
@@ -716,7 +732,7 @@ def fuzz(
 
         failure = run_program(
             program, protocol=protocol, model=model_used, seed=seed, jitter=jitter,
-            faults=fspec, on_hang=note_hang,
+            faults=fspec, on_hang=note_hang, oracle=oracle,
         )
         if failure is None:
             continue
@@ -747,11 +763,12 @@ def fuzz(
                 [seed] if fspec is not None
                 else [seed] + [seed + k + 1 for k in range(4)]
             )
-            oracle = make_failure_oracle(
-                protocol, model_used, oracle_seeds, jitter, faults=shrunk_spec
+            failure_oracle = make_failure_oracle(
+                protocol, model_used, oracle_seeds, jitter,
+                faults=shrunk_spec, oracle=oracle,
             )
             log(f"shrinking from {program.size()} operation(s) ...")
-            shrunk = shrink(program, oracle)
+            shrunk = shrink(program, failure_oracle)
             report.shrunk_program = shrunk
             report.reproducer = to_regression_source(
                 shrunk, protocol, model_used, oracle_seeds, jitter, faults=shrunk_spec
@@ -811,6 +828,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="stop drawing new iterations once this much wall time is spent",
     )
     parser.add_argument(
+        "--oracle",
+        choices=("drf", "axiom"),
+        default="drf",
+        help="consume-allowed oracle: the DRF analyzer's derived partition "
+        "(drf, default) or the axiomatic checker's event-graph closure "
+        "(axiom) — independent derivations of the same sets",
+    )
+    parser.add_argument(
         "--dump-diagnosis",
         metavar="PATH",
         default=None,
@@ -850,6 +875,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_wall_seconds=args.max_wall_seconds,
         verbose=args.verbose,
         log=lambda s: print(s, file=sys.stderr),
+        oracle=args.oracle,
     )
     dt = time.time() - t0  # lint-ok: wall-clock (CLI progress reporting)
     if report.ok:

@@ -59,6 +59,7 @@ __all__ = [
     "LitmusTest",
     "LitmusViolation",
     "outcome",
+    "outcome_map",
     "PROTOCOLS",
     "MODELS",
     "LITMUS_TESTS",
@@ -150,6 +151,13 @@ def COMPUTE(cycles: int) -> Op:
 def outcome(**regs: int) -> Outcome:
     """Canonical outcome literal: ``outcome(r0=1, r1=0)``."""
     return tuple(sorted(regs.items()))
+
+
+def outcome_map(mapping: Dict[str, int]) -> Outcome:
+    """Canonical outcome from a mapping — for final-value keys like
+    ``"x!"`` that are not valid keyword names: ``outcome_map({"r0": 1,
+    "x!": 2})``."""
+    return tuple(sorted(mapping.items()))
 
 
 @dataclass(frozen=True)
@@ -343,7 +351,14 @@ def allowed_outcomes(
 
     Relaxed outcomes require all three of: a machine with a write buffer
     (``primitives``), a model that does not stall shared writes, and a
-    test whose races are not bridged by synchronization.
+    test with a *relaxable* shape — a racy write the buffer can actually
+    delay past a later racy access to another location.  Relaxable is
+    strictly stronger than unsynchronized: racy read-first shapes (LB),
+    causality chains behind a blocking read (WRC, IRIW — writes here are
+    multi-copy atomic), and single-location tests (CoRR, CoWW) stay
+    SC-only even though they race.  The distinction is derived by the
+    static analyzer and cross-validated against the axiomatic checker's
+    enumeration by the :mod:`repro.axiom` differential gate.
 
     Whether the test is synchronized is *derived* by the static analyzer
     (:mod:`repro.static.drf`); the hand-maintained ``synchronized=`` flag
@@ -358,7 +373,7 @@ def allowed_outcomes(
     if (
         protocol == "primitives"
         and not m.stall_on_shared_write
-        and not check_labels(test).synchronized
+        and check_labels(test).relaxable
     ):
         allowed |= set(test.relaxed_outcomes)
     return frozenset(allowed)
@@ -406,11 +421,12 @@ def check_litmus_conformance(
 # The suite
 # --------------------------------------------------------------------------
 
-def _all_iriw_outcomes():
-    combos = set()
-    for bits in itertools.product((0, 1), repeat=4):
-        combos.add(outcome(r0=bits[0], r1=bits[1], r2=bits[2], r3=bits[3]))
-    return combos
+def _all_binary_outcomes(*regs: str) -> set:
+    """Every outcome assigning 0 or 1 to each named register."""
+    return {
+        outcome(**dict(zip(regs, bits)))
+        for bits in itertools.product((0, 1), repeat=len(regs))
+    }
 
 
 _IRIW_FORBIDDEN = outcome(r0=1, r1=0, r2=1, r3=0)
@@ -484,8 +500,134 @@ IRIW = LitmusTest(
         (R("x", "r0"), R("y", "r1")),
         (R("y", "r2"), R("x", "r3")),
     ),
-    sc_outcomes=frozenset(_all_iriw_outcomes() - {_IRIW_FORBIDDEN}),
+    sc_outcomes=frozenset(
+        _all_binary_outcomes("r0", "r1", "r2", "r3") - {_IRIW_FORBIDDEN}
+    ),
     relaxed_outcomes=frozenset({_IRIW_FORBIDDEN}),
+)
+
+LB = LitmusTest(
+    name="lb",
+    description=(
+        "Load buffering: both reads 1 needs read→write reordering — global "
+        "reads block the processor, so the machine never produces it."
+    ),
+    threads=(
+        (R("y", "r0"), W("x", 1)),
+        (R("x", "r1"), W("y", 1)),
+    ),
+    sc_outcomes=frozenset({
+        outcome(r0=0, r1=0), outcome(r0=0, r1=1), outcome(r0=1, r1=0),
+    }),
+    relaxed_outcomes=frozenset({outcome(r0=1, r1=1)}),
+)
+
+S_TEST = LitmusTest(
+    name="s",
+    description=(
+        "S: the first write, buffered past the message write, may land "
+        "after the other thread's write to the same word."
+    ),
+    threads=(
+        (W("x", 2), W("y", 1)),
+        # Stagger so the reader meets y=1 while x=2 is still in flight.
+        (COMPUTE(8), R("y", "r0"), W("x", 1)),
+    ),
+    sc_outcomes=frozenset({
+        outcome_map({"r0": 1, "x!": 1}),
+        outcome_map({"r0": 0, "x!": 1}),
+        outcome_map({"r0": 0, "x!": 2}),
+    }),
+    relaxed_outcomes=frozenset({outcome_map({"r0": 1, "x!": 2})}),
+    finals=("x",),
+)
+
+R_TEST = LitmusTest(
+    name="r",
+    description=(
+        "R: write-buffer delay lets the read miss the other thread's "
+        "write even though that thread's second write lost the coherence "
+        "race."
+    ),
+    threads=(
+        (W("x", 1), W("y", 1)),
+        (COMPUTE(8), W("y", 2), R("x", "r0")),
+    ),
+    sc_outcomes=frozenset({
+        outcome_map({"r0": 1, "y!": 1}),
+        outcome_map({"r0": 1, "y!": 2}),
+        outcome_map({"r0": 0, "y!": 1}),
+    }),
+    relaxed_outcomes=frozenset({outcome_map({"r0": 0, "y!": 2})}),
+    finals=("y",),
+)
+
+WRC = LitmusTest(
+    name="wrc",
+    description=(
+        "Write-to-read causality: a read that observed a write passes it "
+        "on — writes are multi-copy atomic (the global read blocked until "
+        "the home had it), so the relaxed outcome is machine-impossible."
+    ),
+    threads=(
+        (W("x", 1),),
+        (COMPUTE(6), R("x", "r0"), W("y", 1)),
+        (COMPUTE(12), R("y", "r1"), R("x", "r2")),
+    ),
+    sc_outcomes=frozenset(
+        _all_binary_outcomes("r0", "r1", "r2") - {outcome(r0=1, r1=1, r2=0)}
+    ),
+    relaxed_outcomes=frozenset({outcome(r0=1, r1=1, r2=0)}),
+)
+
+ISA2 = LitmusTest(
+    name="isa2",
+    description=(
+        "ISA2: the causality chain starts at a *delayed* write — unlike "
+        "WRC the first thread's data write can still be buffered when the "
+        "chain completes, so the relaxed outcome is admitted."
+    ),
+    threads=(
+        (W("x", 1), W("y", 1)),
+        (COMPUTE(6), R("y", "r0"), W("z", 1)),
+        (COMPUTE(12), R("z", "r1"), R("x", "r2")),
+    ),
+    sc_outcomes=frozenset(
+        _all_binary_outcomes("r0", "r1", "r2") - {outcome(r0=1, r1=1, r2=0)}
+    ),
+    relaxed_outcomes=frozenset({outcome(r0=1, r1=1, r2=0)}),
+)
+
+CORR = LitmusTest(
+    name="corr",
+    description=(
+        "Coherent read-read: two reads of one location never observe its "
+        "values out of coherence order."
+    ),
+    threads=(
+        (W("x", 1),),
+        (R("x", "r0"), R("x", "r1")),
+    ),
+    sc_outcomes=frozenset({
+        outcome(r0=0, r1=0), outcome(r0=0, r1=1), outcome(r0=1, r1=1),
+    }),
+    relaxed_outcomes=frozenset({outcome(r0=1, r1=0)}),
+)
+
+COWW = LitmusTest(
+    name="coww",
+    description=(
+        "Coherent write-write: same-word writes of one thread perform in "
+        "program order (the per-word buffer chain), so the first value "
+        "can never be the final one."
+    ),
+    threads=(
+        (W("x", 1), W("x", 2)),
+        (COMPUTE(6), W("x", 3)),
+    ),
+    sc_outcomes=frozenset({outcome_map({"x!": 2}), outcome_map({"x!": 3})}),
+    relaxed_outcomes=frozenset({outcome_map({"x!": 1})}),
+    finals=("x",),
 )
 
 LOCK_INC = LitmusTest(
@@ -528,7 +670,14 @@ LITMUS_TESTS: Tuple[LitmusTest, ...] = (
     MP_LOCK,
     SB,
     SB_FLUSH,
+    LB,
+    S_TEST,
+    R_TEST,
+    WRC,
+    ISA2,
     IRIW,
+    CORR,
+    COWW,
     LOCK_INC,
     RU_STALE,
 )

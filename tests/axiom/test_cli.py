@@ -1,0 +1,60 @@
+"""CLI contract for ``python -m repro.axiom`` (exit codes are pinned)."""
+
+import json
+
+import pytest
+
+from repro.axiom import GateReport, GateRow
+from repro.axiom import cli as axiom_cli
+
+
+def test_restricted_exact_run_exits_zero(capsys):
+    rc = axiom_cli.main(["--test", "mp", "--model", "sc", "--no-observe"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "mp on" in out and "axiom gate OK" in out
+
+
+def test_observed_run_and_json_artifact(tmp_path, capsys):
+    path = tmp_path / "verdicts.json"
+    rc = axiom_cli.main([
+        "--test", "sb", "--model", "bc", "--protocol", "primitives",
+        "--seeds", "2", "--json", str(path),
+    ])
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    assert doc["ok"] is True and doc["n_rows"] == 1
+    row = doc["rows"][0]
+    assert (row["test"], row["protocol"], row["model"]) == ("sb", "primitives", "bc")
+    assert row["observed"] is not None  # the sweep actually ran
+    assert row["machine_sound"] and row["model_exact"]
+    assert "verdicts written" in capsys.readouterr().out
+
+
+def test_quiet_suppresses_rows(capsys):
+    rc = axiom_cli.main(["--test", "mp", "--model", "sc", "--no-observe", "-q"])
+    assert rc == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_bad_usage_exits_two():
+    with pytest.raises(SystemExit) as exc:
+        axiom_cli.main(["--test", "no-such-test"])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        axiom_cli.main(["--seeds", "0"])
+    assert exc.value.code == 2
+
+
+def test_mismatch_exits_one(monkeypatch, capsys):
+    bad = GateReport(rows=(GateRow(
+        test="fake", protocol="primitives", model="bc",
+        axiomatic=frozenset({(("r0", 0),)}),
+        closed_form=frozenset(),
+        observed=None,
+    ),))
+    monkeypatch.setattr(axiom_cli, "run_gate", lambda **kw: bad)
+    rc = axiom_cli.main(["--no-observe"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "axiom gate FAILED" in captured.err

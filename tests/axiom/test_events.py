@@ -1,0 +1,154 @@
+"""Event-graph construction (:mod:`repro.axiom.events`).
+
+The graph is the checker's ground truth: these tests pin how litmus ops
+become events, how virtual init/rendezvous nodes are wired, and exactly
+which program-order edges survive under a delaying model.
+"""
+
+import pytest
+
+from repro.axiom import ax_model_for, litmus_event_graph
+from repro.verify.litmus import ACQ, BAR, R, REL, W, LITMUS_TESTS, LitmusTest
+
+TESTS = {t.name: t for t in LITMUS_TESTS}
+
+
+def _edge_set(graph, ax):
+    return set(graph.base_edges(ax))
+
+
+def test_mp_events_match_the_drf_lowering():
+    g = litmus_event_graph(TESTS["mp"])
+    kinds = [(e.thread, e.kind, e.var) for e in g.events if e.thread >= 0]
+    assert kinds == [
+        (0, "w", "x"), (0, "w", "flag"), (1, "r", "flag"), (1, "r", "x"),
+    ]
+    # COMPUTE is not an event; init writes exist for both locations.
+    assert set(g.init_of) == {"x", "flag"}
+    init = g.events[g.init_of["x"]]
+    assert init.kind == "init" and init.value == 0 and init.thread == -1
+
+
+def test_init_values_come_from_the_test():
+    t = LitmusTest(
+        name="init-vals", description="", threads=((R("x", "r0"),),),
+        sc_outcomes=frozenset(), relaxed_outcomes=frozenset(),
+        init=(("x", 7),),
+    )
+    g = litmus_event_graph(t)
+    assert g.events[g.init_of["x"]].value == 7
+
+
+def test_barrier_crossings_get_rendezvous_nodes():
+    g = litmus_event_graph(TESTS["ru-stale"])
+    assert set(g.rdv_of) == {("b", 0), ("b2", 0)}
+    ax = ax_model_for("sc")
+    edges = _edge_set(g, ax)
+    for (name, k), rdv in g.rdv_of.items():
+        bars = [
+            e.eid for e in g.events if e.kind == "barrier"
+            and e.var == name and e.crossing == k
+        ]
+        assert len(bars) == 2  # both threads participate
+        for b in bars:
+            assert (b, rdv) in edges  # arrival precedes the rendezvous
+
+
+def test_critical_sections_are_tracked():
+    g = litmus_event_graph(TESTS["mp+lock"])
+    assert set(g.sections) == {"L"}
+    secs = g.sections["L"]
+    assert len(secs) == 2
+    for cs in secs:
+        assert cs.rel is not None
+        assert g.events[cs.acq].kind == "acquire"
+        assert g.events[cs.rel].kind == "release"
+
+
+def test_unbalanced_release_is_rejected():
+    t = LitmusTest(
+        name="bad-rel", description="", threads=((REL("L"),),),
+        sc_outcomes=frozenset(), relaxed_outcomes=frozenset(),
+    )
+    with pytest.raises(ValueError, match="without holding"):
+        litmus_event_graph(t)
+
+
+def test_delayed_write_keeps_only_its_machine_bounds():
+    """Under a delaying model mp's data write loses its po edge to the
+    flag write (different word, no fence) — the relaxation — while under
+    sc every po edge survives."""
+    g = litmus_event_graph(TESTS["mp"])
+    wx, wflag = g.threads[0]
+    delayed = _edge_set(g, ax_model_for("bc"))
+    stalled = _edge_set(g, ax_model_for("sc"))
+    assert (wx, wflag) in stalled
+    assert (wx, wflag) not in delayed
+    # Reader-side po is always preserved: reads block the processor.
+    rflag, rx = g.threads[1]
+    assert (rflag, rx) in delayed
+
+
+def test_delayed_write_is_bounded_by_fences_and_same_word_accesses():
+    g = litmus_event_graph(TESTS["sb+flush"])
+    ax = ax_model_for("bc")
+    edges = _edge_set(g, ax)
+    for t in (0, 1):
+        w, flush, r = g.threads[t]
+        assert g.events[flush].kind == "flush"
+        assert (w, flush) in edges  # CP-Synch drains the buffer
+        assert (flush, r) in edges
+
+
+def test_same_word_chain_skips_cached_reads():
+    """A delayed write's next-same-word bound must be a home-bound access:
+    a plain cached read never blocks on the home, so it cannot witness
+    the write's performance (its own-thread value is po-loc coherence)."""
+    from repro.verify.litmus import CR
+
+    t = LitmusTest(
+        name="cr-chain", description="",
+        threads=((W("x", 1), CR("x", "r0"), R("x", "r1")),),
+        sc_outcomes=frozenset(), relaxed_outcomes=frozenset(),
+    )
+    g = litmus_event_graph(t)
+    w, cr, r = g.threads[0]
+    edges = _edge_set(g, ax_model_for("bc"))
+    assert (w, cr) not in edges
+    assert (w, r) in edges  # the blocking read is the real bound
+
+
+def test_wo_acquire_drains_but_rc_acquire_does_not():
+    t = LitmusTest(
+        name="acq-drain", description="",
+        threads=((W("x", 1), ACQ("L"), R("y", "r0"), REL("L")),),
+        sc_outcomes=frozenset(), relaxed_outcomes=frozenset(),
+    )
+    g = litmus_event_graph(t)
+    w, acq = g.threads[0][0], g.threads[0][1]
+    assert (w, acq) in _edge_set(g, ax_model_for("wo"))  # flush_before_acquire
+    assert (w, acq) not in _edge_set(g, ax_model_for("rc"))
+
+
+def test_sw_edges_follow_the_chosen_lock_order():
+    g = litmus_event_graph(TESTS["mp+lock"])
+    secs = g.sections["L"]
+    fwd = g.sw_edges({"L": (0, 1)})
+    assert fwd == [(secs[0].rel, secs[1].acq)]
+    rev = g.sw_edges({"L": (1, 0)})
+    assert rev == [(secs[1].rel, secs[0].acq)]
+
+
+def test_bar_then_more_work_orders_through_rendezvous():
+    t = LitmusTest(
+        name="bar-next", description="",
+        threads=((W("x", 1), BAR("b"), W("y", 1)), (BAR("b"), R("x", "r0"))),
+        sc_outcomes=frozenset(), relaxed_outcomes=frozenset(),
+    )
+    g = litmus_event_graph(t)
+    edges = _edge_set(g, ax_model_for("sc"))
+    rdv = g.rdv_of[("b", 0)]
+    # rendezvous precedes every participant's next event
+    wy = g.threads[0][2]
+    rx = g.threads[1][1]
+    assert (rdv, wy) in edges and (rdv, rx) in edges

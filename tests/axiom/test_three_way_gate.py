@@ -1,0 +1,73 @@
+"""Tier-1 wrapper for the three-way differential gate.
+
+The in-suite equivalent of the CI ``axiom`` job: axiomatic vs
+closed-form over the full corpus × protocols (exact, fast), plus an
+operational soundness sweep on the buffered machine with a small seed
+budget.  A mismatch anywhere fails the run, naming the combination.
+"""
+
+from repro.axiom import GateReport, GateRow, run_gate
+
+
+def test_exact_gate_full_corpus_all_protocols():
+    report = run_gate(observe=False)
+    bad = report.mismatches()
+    assert report.ok, "\n".join(row.describe() for row in bad)
+    # 15 tests × 4 models × their protocols; ru-stale is primitives-only.
+    assert len(report.rows) == 172
+
+
+def test_observed_gate_on_the_buffered_machine():
+    report = run_gate(
+        protocols=("primitives",), seeds=range(2), jitters=(0.0, 2.0)
+    )
+    assert report.ok, "\n".join(row.describe() for row in report.mismatches())
+    for row in report.rows:
+        assert row.observed is not None
+        assert row.observed <= row.axiomatic  # machine soundness, explicitly
+
+
+def test_gate_row_flags_a_widened_closed_form():
+    row = GateRow(
+        test="fake", protocol="primitives", model="bc",
+        axiomatic=frozenset({(("r0", 0),)}),
+        closed_form=frozenset({(("r0", 0),), (("r0", 1),)}),
+        observed=frozenset({(("r0", 0),)}),
+    )
+    assert row.machine_sound and not row.model_exact and not row.ok
+    assert "closed form admits" in row.describe()
+
+
+def test_gate_row_flags_an_unsound_machine():
+    row = GateRow(
+        test="fake", protocol="primitives", model="bc",
+        axiomatic=frozenset({(("r0", 0),)}),
+        closed_form=frozenset({(("r0", 0),)}),
+        observed=frozenset({(("r0", 1),)}),
+    )
+    assert row.model_exact and not row.machine_sound
+    assert "MACHINE produced forbidden outcome" in row.describe()
+
+
+def test_report_serializes_and_tabulates():
+    report = run_gate(observe=False, protocols=("primitives",))
+    doc = report.to_dict()
+    assert doc["ok"] is True and doc["n_mismatches"] == 0
+    assert doc["n_rows"] == len(report.rows) == len(doc["rows"])
+    sample = doc["rows"][0]
+    assert {"test", "protocol", "model", "axiomatic", "closed_form",
+            "observed", "machine_sound", "model_exact", "ok"} <= set(sample)
+    table = report.markdown_table()
+    assert table.splitlines()[0].startswith("| test | model |")
+    assert " MISMATCH " not in table
+    # one row per primitives combination
+    assert len(table.splitlines()) == 2 + len(report.rows)
+
+
+def test_skipped_observation_is_not_a_soundness_pass():
+    report = GateReport(rows=(GateRow(
+        test="fake", protocol="primitives", model="bc",
+        axiomatic=frozenset(), closed_form=frozenset(), observed=None,
+    ),))
+    assert report.ok  # machine_sound is vacuous, model_exact holds
+    assert "—" in report.markdown_table()
