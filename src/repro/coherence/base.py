@@ -234,6 +234,10 @@ class Controller:
             and isinstance(rec, list)
             and any(m in grant_types and a == block for _dst, m, a, _info in rec)
         ]
+        if stale:
+            # Tallied so recovery tests (and scenario envelopes) can assert
+            # the stale-grant path actually ran, not just that nothing broke.
+            self.stats.counters.add("resilience.void_stale_grants", len(stale))
         for key in stale:
             del log[key]
 

@@ -40,7 +40,14 @@ from .workloads import (
     run_linsolver,
 )
 
-__all__ = ["run_report", "fig_point", "table2_point", "table3_point", "fft_point"]
+__all__ = [
+    "run_report",
+    "fig_point",
+    "table2_point",
+    "table3_point",
+    "fft_point",
+    "report_under_attack",
+]
 
 
 # --------------------------------------------------------------------------
@@ -202,6 +209,28 @@ def _plan(quick: bool) -> Tuple[Dict[Tuple, SweepTask], dict]:
         tasks[("fft", selective)] = SweepTask(
             f"{_MODULE}:fft_point", {"selective": selective}
         )
+    # Adversarial scenarios: every registry entry, paired baseline+attack
+    # per seed, dispatched as ordinary sweep points (same cache, same pool).
+    from .scenarios import scenario_names
+    from .scenarios.runner import DEFAULT_BASE_SEED
+    from .sweep import derive_seed
+
+    scn_n_seeds = 2 if quick else 3
+    shape["scn_n_seeds"] = scn_n_seeds
+    shape["scn_seeds"] = {
+        name: [
+            derive_seed(DEFAULT_BASE_SEED, "scenarios", name, i)
+            for i in range(scn_n_seeds)
+        ]
+        for name in scenario_names()
+    }
+    for name, seeds in shape["scn_seeds"].items():
+        for seed in seeds:
+            for attack in (False, True):
+                tasks[("scn", name, seed, attack)] = SweepTask(
+                    "repro.scenarios.runner:scenario_point",
+                    {"name": name, "seed": seed, "attack": attack},
+                )
     from .verify.litmus import LITMUS_TESTS, PROTOCOLS
 
     for test in LITMUS_TESTS:
@@ -362,6 +391,40 @@ def report_conformance(out: IO[str], res) -> None:
     )
 
 
+def report_under_attack(out: IO[str], shape, res) -> None:
+    """Adversarial scenario suite (DESIGN.md §10), from precomputed points.
+
+    The per-run documents were dispatched as ``scenario_point`` tasks with
+    everything else; here they are folded into envelope verdicts by the
+    same :func:`repro.scenarios.runner.evaluate_scenario` the standalone
+    CLI uses, so report and CI verdicts can never disagree on semantics.
+    """
+    from .scenarios import get_scenario, scenario_names
+    from .scenarios.runner import (
+        DEFAULT_BASE_SEED,
+        SCHEMA,
+        evaluate_scenario,
+        markdown_section,
+    )
+
+    verdicts = []
+    for name in scenario_names():
+        pairs = [
+            (res[("scn", name, seed, False)], res[("scn", name, seed, True)])
+            for seed in shape["scn_seeds"][name]
+        ]
+        verdicts.append(evaluate_scenario(get_scenario(name), pairs))
+    doc = {
+        "schema": SCHEMA,
+        "base_seed": DEFAULT_BASE_SEED,
+        "n_seeds": shape["scn_n_seeds"],
+        "ok": all(v["ok"] for v in verdicts),
+        "scenarios": verdicts,
+    }
+    out.write(markdown_section(doc))
+    out.write("\n")
+
+
 def run_report(
     out: IO[str],
     quick: bool = False,
@@ -400,6 +463,7 @@ def run_report(
     report_figures_67(out, ns, res)
     report_extensions(out, res)
     report_conformance(out, res)
+    report_under_attack(out, shape, res)
     out.write(
         # lint-ok: wall-clock (report generation time, not sim state)
         f"\n_Total generation time: {time.time() - t0:.1f}s wall-clock._\n"

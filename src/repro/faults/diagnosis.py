@@ -31,6 +31,9 @@ class HangDiagnosis:
     reason: str
     time: float
     protocol: str = ""
+    #: Active adversarial scenario name (``Machine.scenario``), or ``""``
+    #: outside a scenario run — makes shrunk repros attributable.
+    scenario: str = ""
     alive_processes: List[str] = field(default_factory=list)
     #: node -> pending reply keys (the unresolved rendezvous).
     pending_replies: Dict[int, List[str]] = field(default_factory=dict)
@@ -71,6 +74,7 @@ class HangDiagnosis:
             "reason": self.reason,
             "time": self.time,
             "protocol": self.protocol,
+            "scenario": self.scenario,
             "alive_processes": list(self.alive_processes),
             "pending_replies": {str(k): v for k, v in self.pending_replies.items()},
             "mshrs": {str(k): v for k, v in self.mshrs.items()},
@@ -94,7 +98,8 @@ class HangDiagnosis:
         """Multi-line human-readable dump."""
         lines = [
             f"HangDiagnosis: {self.reason} at t={self.time}"
-            + (f" (protocol={self.protocol})" if self.protocol else ""),
+            + (f" (protocol={self.protocol})" if self.protocol else "")
+            + (f" (scenario={self.scenario})" if self.scenario else ""),
             f"  retries={self.retries} timeouts={self.timeouts}",
             f"  calendar: {self.pending_live} live, "
             f"{self.canceled_pending} canceled-pending",
@@ -137,7 +142,12 @@ class HangDiagnosis:
 
 def diagnose_machine(machine: "Machine", reason: str) -> HangDiagnosis:
     """Walk ``machine`` and build the structured hang snapshot."""
-    d = HangDiagnosis(reason=reason, time=machine.sim.now, protocol=machine.protocol)
+    d = HangDiagnosis(
+        reason=reason,
+        time=machine.sim.now,
+        protocol=machine.protocol,
+        scenario=machine.scenario or "",
+    )
     d.canceled_pending = machine.sim.canceled_pending
     d.pending_live = machine.sim.pending_live()
     for proc in machine._procs:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.rng import py_random
 
@@ -59,6 +59,15 @@ class FaultSpec:
     reorder_cycles: int = 12
     link_down: Tuple[Tuple[int, int, int, int], ...] = ()
     node_down: Tuple[Tuple[int, int, int], ...] = ()
+    #: Deterministic *targeted* drops: ``(mtype_name, skip, count)`` entries
+    #: drop the ``skip+1``-th through ``skip+count``-th delivered message of
+    #: that :class:`~repro.network.message.MessageType` (counted post-FIFO
+    #: at the dispatch hook, so channel resequencing never wedges).  This is
+    #: the adversary's tool — "lose exactly the third LOCK_GRANT" — as
+    #: opposed to the probabilistic background loss above; no RNG is
+    #: consumed, so adding a targeted entry never perturbs the random
+    #: streams of the probabilistic faults.
+    targeted: Tuple[Tuple[str, int, int], ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -74,6 +83,14 @@ class FaultSpec:
         for node, start, end in self.node_down:
             if start > end:
                 raise ValueError(f"node_down window ({node},{start},{end}) is inverted")
+        from ..network.message import MessageType  # local: avoid cycle at import
+
+        names = MessageType.__members__
+        for mtype, skip, count in self.targeted:
+            if mtype not in names:
+                raise ValueError(f"targeted names unknown message type {mtype!r}")
+            if skip < 0 or count < 0:
+                raise ValueError(f"targeted ({mtype},{skip},{count}) has negative skip/count")
 
     @property
     def is_null(self) -> bool:
@@ -82,6 +99,7 @@ class FaultSpec:
             self.drop_prob == self.dup_prob == self.spike_prob == self.reorder_prob == 0.0
             and not self.link_down
             and not self.node_down
+            and not any(count for _mtype, _skip, count in self.targeted)
         )
 
     def with_seed(self, seed: int) -> "FaultSpec":
@@ -122,6 +140,8 @@ class FaultSpec:
             parts.append(f"link({src}->{dst})down[{start},{end})")
         for node, start, end in self.node_down:
             parts.append(f"node({node})down[{start},{end})")
+        for mtype, skip, count in self.targeted:
+            parts.append(f"target({mtype})[{skip}:+{count}]")
         parts.append(f"seed={self.seed}")
         return "FaultSpec(" + ", ".join(parts) + ")"
 
@@ -179,10 +199,13 @@ class FaultPlan:
     rng: random.Random = field(init=False, repr=False)
     drops: int = 0
     outage_drops: int = 0
+    targeted_drops: int = 0
     dups: int = 0
     spikes: int = 0
     reorders: int = 0
     drop_log: List[str] = field(default_factory=list, repr=False)
+    #: mtype name -> dispatched-message count, for the targeted entries.
+    _seen: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.rng = py_random(self.spec.seed)
@@ -213,6 +236,18 @@ class FaultPlan:
     # -- hook: Interconnect._dispatch (post-FIFO) ----------------------------
     def dispatch_action(self, msg, now: float) -> str:
         """One of ``"deliver" | "drop" | "dup" | "reorder"``."""
+        if self.spec.targeted:
+            name = msg.mtype.name
+            seen = self._seen.get(name, 0)
+            self._seen[name] = seen + 1
+            for mtype, skip, count in self.spec.targeted:
+                if mtype == name and skip <= seen < skip + count:
+                    self.targeted_drops += 1
+                    self._log_drop(
+                        f"t={now} targeted drop #{seen} {name} "
+                        f"{msg.src}->{msg.dst} addr={msg.addr}"
+                    )
+                    return "drop"
         if self.spec.drop_prob and self.rng.random() < self.spec.drop_prob:
             self.drops += 1
             self._log_drop(f"t={now} drop {msg.mtype.name} {msg.src}->{msg.dst} addr={msg.addr}")
@@ -235,12 +270,13 @@ class FaultPlan:
 
     @property
     def total_lost(self) -> int:
-        return self.drops + self.outage_drops
+        return self.drops + self.outage_drops + self.targeted_drops
 
     def counters(self) -> dict:
         return {
             "fault.drops": self.drops,
             "fault.outage_drops": self.outage_drops,
+            "fault.targeted_drops": self.targeted_drops,
             "fault.dups": self.dups,
             "fault.spikes": self.spikes,
             "fault.reorders": self.reorders,

@@ -1,0 +1,45 @@
+"""Adversarial scenario suite: deliberate attackers with envelopes.
+
+Importing this package registers the full catalog.  Run it as a module::
+
+    python -m repro.scenarios --all --seeds 3 --json verdicts.json
+
+See :mod:`repro.scenarios.base` for the registry model and
+:mod:`repro.scenarios.catalog` for the attack roster.
+"""
+
+from .base import (
+    Envelope,
+    Scenario,
+    ScenarioWorld,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from .catalog import build_catalog
+from .runner import (
+    SCHEMA,
+    evaluate_scenario,
+    markdown_section,
+    run_scenarios,
+    scenario_point,
+)
+
+build_catalog()
+
+__all__ = [
+    "Envelope",
+    "Scenario",
+    "ScenarioWorld",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "build_catalog",
+    "SCHEMA",
+    "scenario_point",
+    "evaluate_scenario",
+    "run_scenarios",
+    "markdown_section",
+]

@@ -1,0 +1,122 @@
+"""CLI: run adversarial scenarios and check their envelopes.
+
+Examples::
+
+    python -m repro.scenarios --list
+    python -m repro.scenarios --all --seeds 3 --json verdicts.json
+    python -m repro.scenarios --scenario denial-of-progress -v
+
+Exit codes (pinned by tests): 0 — every envelope held; 1 — at least one
+envelope violation; 2 — usage error (e.g. unknown scenario name).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..sweep import SweepStats
+from .base import get_scenario, scenario_names
+from .runner import DEFAULT_BASE_SEED, markdown_section, run_scenarios
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run adversarial scenarios against paired baselines and "
+        "check expected-degradation envelopes.",
+    )
+    ap.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run this scenario (repeatable; default: all registered)",
+    )
+    ap.add_argument("--all", action="store_true", help="run every registered scenario")
+    ap.add_argument("--list", action="store_true", help="list scenarios and exit")
+    ap.add_argument("--seeds", type=int, default=3, help="seeds per scenario (default 3)")
+    ap.add_argument(
+        "--base-seed",
+        type=int,
+        default=DEFAULT_BASE_SEED,
+        help=f"base seed for derivation (default {DEFAULT_BASE_SEED})",
+    )
+    ap.add_argument("--jobs", type=int, default=None, help="parallel workers (default: auto)")
+    ap.add_argument("--cache-dir", default=None, help="sweep cache directory")
+    ap.add_argument("--no-cache", action="store_true", help="disable the sweep cache")
+    ap.add_argument("--json", metavar="PATH", default=None, help="write the verdict document here")
+    ap.add_argument(
+        "--report", metavar="PATH", default=None, help="write the markdown 'Under attack' section here"
+    )
+    ap.add_argument("-v", "--verbose", action="store_true", help="per-seed detail")
+    args = ap.parse_args(argv)
+
+    if args.list:
+        for name in scenario_names():
+            scn = get_scenario(name)
+            print(f"{name:32s} [{scn.protocol}] {scn.description}")
+        return 0
+
+    names = scenario_names() if (args.all or not args.scenario) else args.scenario
+    unknown = [n for n in names if n not in scenario_names()]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)}; known: "
+            f"{', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+
+    stats = SweepStats()
+    doc = run_scenarios(
+        names=names,
+        n_seeds=args.seeds,
+        base_seed=args.base_seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        stats=stats,
+    )
+
+    for v in doc["scenarios"]:
+        flag = "ok " if v["ok"] else "FAIL"
+        slowdowns = [e["slowdown"] for e in v["per_seed"] if e["slowdown"] is not None]
+        worst = f"{max(slowdowns):.2f}x" if slowdowns else "hang"
+        print(f"[{flag}] {v['name']:32s} worst slowdown {worst}")
+        if args.verbose:
+            for e in v["per_seed"]:
+                slow = f"{e['slowdown']:.2f}x" if e["slowdown"] is not None else "hang"
+                print(
+                    f"       seed {e['seed']}: base={e['victim_time_baseline']} "
+                    f"attack={e['victim_time_attack']} ({slow}), "
+                    f"msgs {e['messages_baseline']}->{e['messages_attack']}"
+                )
+        for msg in v["violations"]:
+            print(f"       violation: {msg}")
+    print(
+        f"{len(doc['scenarios'])} scenarios x {doc['n_seeds']} seeds: "
+        f"{stats.computed} computed, {stats.hits} cached, jobs={stats.jobs}"
+    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"verdicts written to {args.json}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(markdown_section(doc))
+        print(f"report section written to {args.report}")
+
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

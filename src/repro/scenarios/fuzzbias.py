@@ -1,0 +1,112 @@
+"""Scenario-derived bias for the schedule fuzzer.
+
+``python -m repro.verify.fuzz --scenario NAME`` steers the fuzz campaign
+at the attack surface a registered scenario targets: the protocol is
+pinned to the scenario's, atom weights are tilted toward the contention
+kind its tags name (lock-heavy for the lock attacks, publish/consume-heavy
+for the coherence attacks), and — when the scenario declares a targeted
+:class:`~repro.faults.plan.FaultSpec` — its targeted drop entries are
+grafted onto every drawn fault schedule, so random well-synchronized
+programs are fuzzed *under the scenario's attack conditions* rather than
+under uniform noise.
+
+Kept out of ``repro.scenarios.__init__`` on purpose: this module imports
+:mod:`repro.verify.fuzz` for the default atom weights, and the fuzzer
+imports *us* lazily inside :func:`repro.verify.fuzz.fuzz`, so neither
+package pays for the other at import time and there is no cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .base import get_scenario
+
+__all__ = ["FuzzBias", "bias_for"]
+
+
+@dataclass(frozen=True)
+class FuzzBias:
+    """What ``--scenario`` changes about a fuzz campaign."""
+
+    scenario: str
+    #: Protocols to cycle (pinned to the scenario's protocol).
+    protocols: Tuple[str, ...]
+    #: ``(kind, weight)`` pairs replacing the fuzzer's default atom mix.
+    atom_weights: Tuple[Tuple[str, float], ...]
+    #: Targeted drop entries grafted onto every drawn fault schedule.
+    targeted: Tuple[Tuple[str, int, int], ...]
+
+
+#: Tag -> atom-weight tilt.  First matching tag of the scenario wins.
+_TAG_WEIGHTS = {
+    "lock": (
+        ("compute", 0.10),
+        ("private", 0.10),
+        ("publish", 0.10),
+        ("consume", 0.10),
+        ("lock_inc", 0.45),
+        ("rmw_inc", 0.15),
+    ),
+    "semaphore": (
+        ("compute", 0.10),
+        ("private", 0.10),
+        ("publish", 0.10),
+        ("consume", 0.10),
+        ("lock_inc", 0.45),
+        ("rmw_inc", 0.15),
+    ),
+    "barrier": (
+        ("compute", 0.25),
+        ("private", 0.10),
+        ("publish", 0.25),
+        ("consume", 0.25),
+        ("lock_inc", 0.10),
+        ("rmw_inc", 0.05),
+    ),
+    "coherence": (
+        ("compute", 0.10),
+        ("private", 0.10),
+        ("publish", 0.30),
+        ("consume", 0.30),
+        ("lock_inc", 0.10),
+        ("rmw_inc", 0.10),
+    ),
+    "faults": (
+        ("compute", 0.10),
+        ("private", 0.10),
+        ("publish", 0.15),
+        ("consume", 0.15),
+        ("lock_inc", 0.40),
+        ("rmw_inc", 0.10),
+    ),
+}
+
+
+def bias_for(name: str) -> FuzzBias:
+    """Build the fuzz bias for a registered scenario.
+
+    The targeted entries are read from ``fault_spec(0)`` — the catalog's
+    targeted tuples are seed-independent (only probabilistic fault fields
+    would vary, and those are not lifted into the bias).
+    """
+    scn = get_scenario(name)
+    weights: Tuple[Tuple[str, float], ...] = ()
+    for tag in scn.tags:
+        if tag in _TAG_WEIGHTS:
+            weights = _TAG_WEIGHTS[tag]
+            break
+    if not weights:
+        from ..verify.fuzz import _ATOM_WEIGHTS
+
+        weights = _ATOM_WEIGHTS
+    targeted: Tuple[Tuple[str, int, int], ...] = ()
+    if scn.fault_spec is not None:
+        targeted = scn.fault_spec(0).targeted
+    return FuzzBias(
+        scenario=name,
+        protocols=(scn.protocol,),
+        atom_weights=weights,
+        targeted=targeted,
+    )

@@ -77,6 +77,9 @@ class Watchdog:
         Optional zero-arg callable returning the cumulative retry count.
     retry_budget:
         Raise ``retry-storm`` once ``retries()`` exceeds this.
+    label:
+        Optional context tag (e.g. the active adversarial scenario name)
+        included in the trip message so a diagnosed hang is attributable.
     """
 
     def __init__(
@@ -89,6 +92,7 @@ class Watchdog:
         stall_intervals: int = 3,
         retries: Optional[Callable[[], int]] = None,
         retry_budget: Optional[int] = None,
+        label: Optional[str] = None,
     ):
         if interval <= 0:
             raise ValueError("watchdog interval must be positive")
@@ -102,6 +106,7 @@ class Watchdog:
         self.stall_intervals = stall_intervals
         self.retries = retries
         self.retry_budget = retry_budget
+        self.label = label
         self._wake: Optional[Event] = None
         self._last_events = -1
         self._last_progress = -1
@@ -158,7 +163,8 @@ class Watchdog:
 
     def _trip(self, reason: str) -> None:
         self.fired = reason
+        where = f" [scenario {self.label}]" if self.label else ""
         raise HangError(
-            f"watchdog: no progress ({reason}) at t={self.sim.now}",
+            f"watchdog: no progress ({reason}) at t={self.sim.now}{where}",
             self.diagnose(reason),
         )

@@ -33,6 +33,9 @@ from .metrics import RunMetrics
 
 __all__ = ["Machine"]
 
+#: Drop-log lines surfaced in :attr:`RunMetrics.drop_log_tail`.
+DROP_LOG_TAIL = 16
+
 _NETWORKS = {
     "omega": OmegaNetwork,
     "omega-buffered": BufferedOmegaNetwork,
@@ -89,6 +92,11 @@ class Machine:
             cfg = dataclasses.replace(cfg, resilience=DEFAULT_RESILIENCE)
         self.cfg = cfg
         self.protocol = protocol
+        #: Name of the adversarial scenario driving this machine, when one
+        #: is (set by :mod:`repro.scenarios`); carried into
+        #: :class:`~repro.faults.diagnosis.HangDiagnosis` and the watchdog
+        #: trip message so shrunk repros are attributable.
+        self.scenario: Optional[str] = None
         self.fault_plan: Optional[FaultPlan] = (
             FaultPlan(faults) if faults is not None and not faults.is_null else None
         )
@@ -244,6 +252,7 @@ class Machine:
                 interval=interval,
                 retries=lambda: self._resilience_counter("resilience.retries"),
                 retry_budget=self.retry_budget,
+                label=self.scenario,
             ).start()
             # Cancel the pending wake the instant the last workload finishes
             # so the watchdog never inflates the run's completion time.
@@ -353,6 +362,7 @@ class Machine:
         m.timeout_cycles = node_counters.get("resilience.timeout_cycles", 0)
         if self.fault_plan is not None:
             m.faults = self.fault_plan.counters()
+            m.drop_log_tail = list(self.fault_plan.drop_log[-DROP_LOG_TAIL:])
         if not phases:
             phases = [
                 PhaseStat(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 __all__ = ["RunMetrics"]
 
@@ -37,6 +37,11 @@ class RunMetrics:
     #: Fault-injection tally from the installed :class:`FaultPlan`
     #: (empty dict when no plan is installed).
     faults: Dict[str, int] = field(default_factory=dict)
+    #: Tail of the fault plan's drop log (human-readable lines naming the
+    #: lost messages; empty without a plan).  Surfaced here so scenario
+    #: verdicts and CI artifacts carry the fault accounting without
+    #: reaching into the live plan object.
+    drop_log_tail: List[str] = field(default_factory=list)
 
     def messages_of(self, prefix: str) -> int:
         """Total messages whose type name starts with ``prefix``."""
@@ -55,6 +60,7 @@ class RunMetrics:
             "timeouts": self.timeouts,
             "timeout_cycles": self.timeout_cycles,
             "faults": dict(self.faults),
+            "drop_log_tail": list(self.drop_log_tail),
         }
 
     @classmethod
@@ -75,6 +81,7 @@ class RunMetrics:
             "timeouts",
             "timeout_cycles",
             "faults",
+            "drop_log_tail",
         }
         unknown = set(d) - known
         if unknown:
@@ -85,5 +92,7 @@ class RunMetrics:
                 value = d[key]
                 if key in ("msg_by_type", "node_counters", "faults"):
                     value = dict(value)
+                elif key == "drop_log_tail":
+                    value = list(value)
                 setattr(m, key, value)
         return m

@@ -166,14 +166,21 @@ def gen_program(
     n_rounds: Optional[int] = None,
     max_atoms_per_round: int = 3,
     n_locks: int = 2,
+    atom_weights: Optional[Sequence[Tuple[str, float]]] = None,
 ) -> Program:
-    """Draw a random well-synchronized program from ``rng``."""
+    """Draw a random well-synchronized program from ``rng``.
+
+    ``atom_weights`` overrides the default atom mix (same kinds, different
+    weights) — scenario bias (``--scenario``) uses it to tilt generation
+    toward one contention surface.
+    """
     if n_threads is None:
         n_threads = int(rng.integers(2, 5))
     if n_rounds is None:
         n_rounds = int(rng.integers(1, 4))
-    kinds = [k for k, _ in _ATOM_WEIGHTS]
-    weights = [w for _, w in _ATOM_WEIGHTS]
+    pairs = _ATOM_WEIGHTS if atom_weights is None else tuple(atom_weights)
+    kinds = [k for k, _ in pairs]
+    weights = [w for _, w in pairs]
     total = sum(weights)
     probs = [w / total for w in weights]
     pub_seq = [0] * n_threads
@@ -526,6 +533,8 @@ def _fault_reductions(spec: FaultSpec):
         yield replace(spec, link_down=spec.link_down[:i] + spec.link_down[i + 1 :])
     for i in range(len(spec.node_down)):
         yield replace(spec, node_down=spec.node_down[:i] + spec.node_down[i + 1 :])
+    for i in range(len(spec.targeted)):
+        yield replace(spec, targeted=spec.targeted[:i] + spec.targeted[i + 1 :])
 
 
 def shrink_faults(
@@ -535,8 +544,9 @@ def shrink_faults(
     """Greedily minimize a fault schedule while ``fails`` still fails.
 
     Zeroes whole fault classes (drop, duplicate, spike, reorder) and strips
-    outage windows one at a time; the result is a local minimum — no single
-    fault class or window can be removed without losing the failure.
+    outage windows and targeted drop entries one at a time; the result is a
+    local minimum — no single fault class, window, or targeted entry can be
+    removed without losing the failure.
     """
     if fails(spec) is None:
         raise ValueError("shrink_faults() requires a failing fault spec")
@@ -655,6 +665,8 @@ class FuzzReport:
     shrunk_faults: Optional[FaultSpec] = None
     diagnosis: Optional[HangDiagnosis] = None
     stopped_by_wall_clock: bool = False
+    #: Scenario bias in force (``--scenario``), or ``""``.
+    scenario: str = ""
 
     @property
     def ok(self) -> bool:
@@ -676,6 +688,7 @@ def fuzz(
     verbose: bool = False,
     log: Callable[[str], None] = lambda s: None,
     oracle: str = "drf",
+    scenario: Optional[str] = None,
 ) -> FuzzReport:
     """Run a bounded fuzz budget; stops at the first (shrunk) failure.
 
@@ -689,11 +702,24 @@ def fuzz(
     minimized with the other held fixed).  ``max_wall_seconds`` stops the
     loop — reported via ``stopped_by_wall_clock`` — once the wall-clock
     budget is spent; runs already started are finished, never aborted.
+
+    ``scenario`` names a registered adversarial scenario
+    (:mod:`repro.scenarios`); the campaign is then biased at its attack
+    surface — protocol pinned, atom mix tilted, and the scenario's
+    targeted drop entries grafted onto every iteration's fault schedule
+    (a schedule is installed even without ``faults=True`` when the
+    scenario declares targeted drops).
     """
     t0 = time.monotonic()  # lint-ok: wall-clock (the --max-wall-seconds budget)
+    bias = None
+    if scenario is not None:
+        from ..scenarios.fuzzbias import bias_for
+
+        bias = bias_for(scenario)
+        protocols = bias.protocols
     streams = RngStreams(master_seed)
     combos = [(p, m) for p in protocols for m in models]
-    report = FuzzReport(runs_by_combo={c: 0 for c in combos})
+    report = FuzzReport(runs_by_combo={c: 0 for c in combos}, scenario=scenario or "")
     for i in range(iters):
         # lint-ok: wall-clock (budget check; never feeds simulated state)
         if max_wall_seconds is not None and time.monotonic() - t0 > max_wall_seconds:
@@ -707,6 +733,7 @@ def fuzz(
             rng,
             n_threads=int(rng.integers(2, max_threads + 1)),
             n_rounds=int(rng.integers(1, max_rounds + 1)),
+            atom_weights=bias.atom_weights if bias is not None else None,
         )
         seed = int(rng.integers(0, 2**31 - 1))
         jitter = float(rng.uniform(0.0, max_jitter))
@@ -717,6 +744,14 @@ def fuzz(
             fspec = FaultSpec.draw(
                 frng, seed=int(rng.integers(0, 2**31 - 1)), n_nodes=n_nodes
             )
+        if bias is not None and bias.targeted:
+            # Graft the scenario's targeted drops onto the schedule; with
+            # --faults off this alone is the schedule (recovery machinery
+            # and watchdog then run exactly as in the scenario).
+            if fspec is None:
+                fspec = FaultSpec(seed=seed, targeted=bias.targeted)
+            else:
+                fspec = replace(fspec, targeted=bias.targeted)
         report.iterations = i + 1
         report.runs_by_combo[(protocol, model)] += 1
         if verbose:
@@ -816,6 +851,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-shrink", action="store_true", help="skip shrinking on failure"
     )
     parser.add_argument(
+        "--scenario",
+        metavar="NAME",
+        default=None,
+        help="bias the campaign at a registered adversarial scenario "
+        "(repro.scenarios): pin its protocol, tilt the atom mix toward its "
+        "contention surface, and graft its targeted drops onto every "
+        "iteration's fault schedule",
+    )
+    parser.add_argument(
         "--faults",
         action="store_true",
         help="draw a seeded fault schedule (drops/dups/spikes/outages) per "
@@ -859,6 +903,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--seed must be non-negative")
     if args.max_wall_seconds is not None and args.max_wall_seconds <= 0:
         parser.error("--max-wall-seconds must be positive")
+    if args.scenario is not None:
+        # Imported here so plain fuzz runs never pay for the catalog.
+        from ..scenarios import scenario_names
+
+        if args.scenario not in scenario_names():
+            parser.error(
+                f"unknown scenario {args.scenario!r}; known: "
+                f"{', '.join(scenario_names())}"
+            )
+        if args.protocol != "all":
+            parser.error("--scenario pins the protocol; drop --protocol")
 
     protocols = PROTOCOLS if args.protocol == "all" else (args.protocol,)
     models = MODELS if args.model == "all" else (args.model,)
@@ -876,14 +931,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         verbose=args.verbose,
         log=lambda s: print(s, file=sys.stderr),
         oracle=args.oracle,
+        scenario=args.scenario,
     )
     dt = time.time() - t0  # lint-ok: wall-clock (CLI progress reporting)
     if report.ok:
         combos = sum(1 for c, n in report.runs_by_combo.items() if n > 0)
         cut = " (wall-clock budget spent)" if report.stopped_by_wall_clock else ""
+        scn = f" [scenario {report.scenario}]" if report.scenario else ""
         print(
             f"fuzz OK: {report.iterations} iteration(s) across {combos} "
-            f"protocol×model combination(s) in {dt:.1f}s (seed {args.seed}){cut}"
+            f"protocol×model combination(s) in {dt:.1f}s (seed {args.seed}){cut}{scn}"
         )
         return 0
     print(

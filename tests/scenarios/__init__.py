@@ -1,0 +1,1 @@
+"""Adversarial scenario suite tests."""

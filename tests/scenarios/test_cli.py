@@ -1,0 +1,95 @@
+"""Exit-code and output contract of ``python -m repro.scenarios``.
+
+CI keys off these codes, so they are pinned: 0 = every envelope held,
+1 = at least one envelope violation, 2 = usage error.  The ``--json``
+document must carry the ``repro.scenarios/v1`` schema tag.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.scenarios import Envelope, get_scenario, register
+from repro.scenarios.__main__ import main
+from repro.scenarios.base import _REGISTRY
+
+ENV_CMD = [sys.executable, "-m", "repro.scenarios"]
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _run(args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        ENV_CMD + args, capture_output=True, text=True, timeout=300, env=env, cwd=_ROOT
+    )
+
+
+def test_list_exits_0_and_names_every_scenario():
+    proc = _run(["--list"])
+    assert proc.returncode == 0, proc.stderr
+    for name in ("lock-convoy", "denial-of-progress", "denial-of-progress-overbudget"):
+        assert name in proc.stdout
+
+
+def test_single_scenario_run_exit_0_and_json_schema(tmp_path):
+    out = tmp_path / "verdicts.json"
+    proc = _run(
+        ["--scenario", "lock-convoy", "--seeds", "1", "--jobs", "1",
+         "--no-cache", "--json", str(out)]
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "[ok ] lock-convoy" in proc.stdout
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.scenarios/v1"
+    assert doc["ok"] is True
+    assert [v["name"] for v in doc["scenarios"]] == ["lock-convoy"]
+
+
+def test_report_flag_writes_markdown_section(tmp_path):
+    out = tmp_path / "attack.md"
+    proc = _run(
+        ["--scenario", "lock-convoy", "--seeds", "1", "--jobs", "1",
+         "--no-cache", "--report", str(out)]
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert out.read_text().startswith("## Under attack")
+
+
+def test_unknown_scenario_exits_2():
+    proc = _run(["--scenario", "no-such-attack"])
+    assert proc.returncode == 2
+    assert "unknown scenario" in proc.stderr
+
+
+def test_zero_seeds_exits_2():
+    proc = _run(["--scenario", "lock-convoy", "--seeds", "0"])
+    assert proc.returncode == 2
+    assert "--seeds" in proc.stderr
+
+
+@pytest.fixture
+def rigged_scenario():
+    """A real scenario re-registered under an envelope it cannot meet."""
+    base = get_scenario("lock-convoy")
+    scn = dataclasses.replace(
+        base, name="rigged-convoy", envelope=Envelope(max_slowdown=1.01)
+    )
+    register(scn)
+    try:
+        yield scn
+    finally:
+        _REGISTRY.pop("rigged-convoy", None)
+
+
+def test_envelope_violation_exits_1(rigged_scenario):
+    # In-process (jobs=1) so the temporarily-registered scenario is visible;
+    # worker processes would re-import only the shipped catalog.
+    code = main(
+        ["--scenario", "rigged-convoy", "--seeds", "1", "--jobs", "1", "--no-cache"]
+    )
+    assert code == 1

@@ -1,0 +1,73 @@
+"""Denial-of-progress: recovery within budget, diagnosis past it.
+
+The adversarial pair at the heart of the suite.  ``denial-of-progress``
+drops targeted lock-handoff messages and must *recover* — timeout/reissue
+counters fire and the run still verifies.  Its over-budget twin disables
+retries, so the same drop wedges the machine: the run must never silently
+hang — the watchdog trips with a structured :class:`HangDiagnosis` that
+names the scenario, and the trip message carries the scenario label.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario, scenario_point
+from repro.scenarios.base import ScenarioWorld
+from repro.sim.watchdog import HangError
+from repro.system.machine import Machine
+
+SEED = 17
+
+
+def test_denial_of_progress_recovers_and_verifies():
+    doc = scenario_point("denial-of-progress", SEED, attack=True)
+    # scenario_point already ran check_all + the scenario's result checks;
+    # reaching here with no hang means the run verified under attack.
+    assert doc["hang"] is None
+    met = doc["metrics"]
+    assert met["faults"]["fault.targeted_drops"] > 0
+    assert met["node_counters"]["resilience.timeouts"] > 0
+    assert met["node_counters"]["resilience.retries"] > 0
+    assert any("targeted drop" in line for line in met["drop_log_tail"])
+
+
+def test_denial_of_progress_baseline_is_clean():
+    doc = scenario_point("denial-of-progress", SEED, attack=False)
+    assert doc["hang"] is None
+    assert doc["metrics"]["faults"].get("fault.targeted_drops", 0) == 0
+    assert doc["metrics"]["node_counters"].get("resilience.timeouts", 0) == 0
+
+
+def test_overbudget_yields_structured_diagnosis():
+    """Past the envelope the hang is *diagnosed*, never silent."""
+    doc = scenario_point("denial-of-progress-overbudget", SEED, attack=True)
+    hang = doc["hang"]
+    assert hang is not None
+    assert hang["reason"] == "quiescent"
+    assert hang["scenario"] == "denial-of-progress-overbudget"
+    assert hang["blame"], "diagnosis must name culprits"
+    assert doc["metrics"]["faults"]["fault.targeted_drops"] > 0
+
+
+def test_overbudget_baseline_completes():
+    """No attackers, no fault plan: retries-disabled config still finishes."""
+    doc = scenario_point("denial-of-progress-overbudget", SEED, attack=False)
+    assert doc["hang"] is None
+    assert doc["victim_time"] is not None
+
+
+def test_watchdog_trip_message_names_the_scenario():
+    """Running the over-budget scenario by hand, the raised HangError's
+    message carries the scenario label (the watchdog's attribution tag)."""
+    scn = get_scenario("denial-of-progress-overbudget")
+    machine = Machine(
+        scn.config(SEED), protocol=scn.protocol, faults=scn.fault_spec(SEED)
+    )
+    machine.scenario = scn.name
+    world = ScenarioWorld(machine)
+    scn.build(world, True)
+    with pytest.raises(HangError) as exc_info:
+        machine.run_all(max_cycles=scn.max_cycles)
+    assert "[scenario denial-of-progress-overbudget]" in str(exc_info.value)
+    diag = exc_info.value.diagnosis
+    assert diag is not None
+    assert diag.scenario == "denial-of-progress-overbudget"

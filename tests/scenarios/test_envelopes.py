@@ -1,0 +1,180 @@
+"""Verdict-document schema pins and envelope evaluation paths.
+
+The JSON the CLI writes (``--json``) is a contract: CI archives it and the
+report renders it.  These tests pin the top-level schema, the per-scenario
+verdict layout, and every violation branch in :func:`evaluate_scenario`
+(exercised with hand-crafted run documents, so the failure paths are
+covered without building a scenario that actually violates its envelope).
+"""
+
+import pytest
+
+from repro.scenarios import (
+    SCHEMA,
+    Envelope,
+    Scenario,
+    evaluate_scenario,
+    get_scenario,
+    markdown_section,
+    run_scenarios,
+)
+
+VERDICT_KEYS = [
+    "description",
+    "envelope",
+    "name",
+    "ok",
+    "per_seed",
+    "protocol",
+    "tags",
+    "violations",
+]
+
+PER_SEED_KEYS = [
+    "drop_log_tail",
+    "fault_counts",
+    "hang",
+    "message_blowup",
+    "messages_attack",
+    "messages_baseline",
+    "recovery",
+    "seed",
+    "slowdown",
+    "victim_time_attack",
+    "victim_time_baseline",
+]
+
+
+def test_run_scenarios_document_schema():
+    doc = run_scenarios(["lock-convoy"], n_seeds=1, jobs=1, use_cache=False)
+    assert sorted(doc) == ["base_seed", "n_seeds", "ok", "scenarios", "schema"]
+    assert doc["schema"] == SCHEMA == "repro.scenarios/v1"
+    assert doc["ok"] is True
+    (v,) = doc["scenarios"]
+    assert sorted(v) == VERDICT_KEYS
+    assert v["name"] == "lock-convoy"
+    assert v["ok"] is True and v["violations"] == []
+    (entry,) = v["per_seed"]
+    assert sorted(entry) == PER_SEED_KEYS
+    assert entry["slowdown"] is not None and entry["slowdown"] > 1.0
+    assert entry["hang"] is None
+
+
+# --------------------------------------------------------------------------
+# evaluate_scenario violation branches, via crafted run documents
+# --------------------------------------------------------------------------
+
+def _doc(seed=1, victim_time=100.0, messages=50, hang=None, counters=None, faults=None):
+    return {
+        "seed": seed,
+        "victim_time": victim_time,
+        "hang": hang,
+        "metrics": {
+            "messages": messages,
+            "node_counters": counters or {},
+            "faults": faults or {},
+            "drop_log_tail": [],
+        },
+    }
+
+
+def _scn(envelope):
+    return Scenario(
+        name="crafted",
+        description="hand-built for evaluation tests",
+        protocol="primitives",
+        config=lambda seed: None,
+        build=lambda world, attack: None,
+        envelope=envelope,
+    )
+
+
+def test_slowdown_over_envelope_flagged():
+    scn = _scn(Envelope(max_slowdown=2.0))
+    out = evaluate_scenario(scn, [(_doc(), _doc(victim_time=300.0))])
+    assert not out["ok"]
+    assert any("exceeds envelope max" in v for v in out["violations"])
+
+
+def test_slowdown_below_floor_flagged():
+    """The floor catches an attack that stopped biting (regressed attacker)."""
+    scn = _scn(Envelope(max_slowdown=5.0, min_slowdown=1.5))
+    out = evaluate_scenario(scn, [(_doc(), _doc(victim_time=110.0))])
+    assert any("attack stopped biting" in v for v in out["violations"])
+
+
+def test_message_blowup_over_envelope_flagged():
+    scn = _scn(Envelope(max_slowdown=5.0, max_message_blowup=2.0))
+    out = evaluate_scenario(
+        scn, [(_doc(), _doc(victim_time=200.0, messages=500))]
+    )
+    assert any("message blowup" in v for v in out["violations"])
+
+
+def test_unexpected_hang_flagged():
+    scn = _scn(Envelope(max_slowdown=5.0))
+    hang = {"reason": "quiescent", "scenario": "crafted"}
+    out = evaluate_scenario(scn, [(_doc(), _doc(hang=hang))])
+    assert any("attack hung" in v for v in out["violations"])
+
+
+def test_baseline_hang_always_a_violation():
+    """Even under hang_policy='expect', the *baseline* must complete."""
+    scn = _scn(Envelope(max_slowdown=5.0, hang_policy="expect"))
+    hang = {"reason": "quiescent", "scenario": "crafted"}
+    out = evaluate_scenario(scn, [(_doc(hang=hang), _doc(hang=hang))])
+    assert any("baseline hung" in v for v in out["violations"])
+
+
+def test_expected_hang_missing_flagged():
+    scn = _scn(Envelope(max_slowdown=5.0, hang_policy="expect"))
+    out = evaluate_scenario(scn, [(_doc(), _doc(victim_time=200.0))])
+    assert any("expected a watchdog trip" in v for v in out["violations"])
+
+
+def test_expected_hang_must_name_the_scenario():
+    scn = _scn(Envelope(max_slowdown=5.0, hang_policy="expect"))
+    hang = {"reason": "quiescent", "scenario": "somebody-else"}
+    out = evaluate_scenario(scn, [(_doc(), _doc(hang=hang))])
+    assert any("names scenario" in v for v in out["violations"])
+
+
+def test_required_counters_zero_flagged():
+    scn = _scn(
+        Envelope(
+            max_slowdown=5.0,
+            require_recovery=("resilience.timeouts",),
+            require_faults=("fault.targeted_drops",),
+        )
+    )
+    out = evaluate_scenario(scn, [(_doc(), _doc(victim_time=200.0))])
+    assert any("recovery counter resilience.timeouts is zero" in v for v in out["violations"])
+    assert any("fault counter fault.targeted_drops is zero" in v for v in out["violations"])
+
+
+def test_within_envelope_passes_clean():
+    scn = _scn(Envelope(max_slowdown=5.0, min_slowdown=1.2, max_message_blowup=3.0))
+    out = evaluate_scenario(
+        scn, [(_doc(), _doc(victim_time=200.0, messages=100))]
+    )
+    assert out["ok"] and out["violations"] == []
+
+
+def test_markdown_section_renders_violations():
+    scn = _scn(Envelope(max_slowdown=2.0))
+    verdict = evaluate_scenario(scn, [(_doc(), _doc(victim_time=300.0))])
+    doc = {"schema": SCHEMA, "base_seed": 0, "n_seeds": 1, "ok": False,
+           "scenarios": [verdict]}
+    md = markdown_section(doc)
+    assert "## Under attack" in md
+    assert "VIOLATION" in md
+    assert "exceeds envelope max" in md
+
+
+def test_markdown_section_real_scenario_row():
+    scn = get_scenario("lock-convoy")
+    doc = run_scenarios(["lock-convoy"], n_seeds=1, jobs=1, use_cache=False)
+    md = markdown_section(doc)
+    assert "| lock-convoy | primitives |" in md
+    assert "within envelope" in md
+    assert f"{scn.envelope.min_slowdown:.2f}-{scn.envelope.max_slowdown:.0f}x" in md

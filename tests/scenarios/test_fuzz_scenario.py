@@ -1,0 +1,67 @@
+"""Scenario-biased fuzzing: ``--scenario`` steers the campaign.
+
+The bias must pin the protocol, tilt the atom mix, and graft the
+scenario's targeted drops onto every drawn fault schedule — all while
+the fuzz loop stays green on well-synchronized programs.
+"""
+
+import pytest
+
+from repro.scenarios.fuzzbias import bias_for
+from repro.verify import fuzz as fuzz_mod
+from repro.verify.fuzz import fuzz
+
+
+def test_bias_pins_protocol_and_tilts_atoms():
+    bias = bias_for("lock-convoy")
+    assert bias.protocols == ("primitives",)
+    weights = dict(bias.atom_weights)
+    # Lock-heavy tilt: lock_inc dominates the mix.
+    assert weights["lock_inc"] == max(weights.values())
+    assert abs(sum(weights.values()) - 1.0) < 1e-9
+
+
+def test_bias_carries_targeted_drops_for_denial():
+    bias = bias_for("denial-of-progress")
+    assert bias.targeted, "denial scenario must contribute targeted drops"
+    assert any(mtype == "LOCK_GRANT" for mtype, _, _ in bias.targeted)
+
+
+def test_bias_without_fault_plan_has_no_targeted_entries():
+    assert bias_for("hot-block-ping-pong").targeted == ()
+
+
+def test_bias_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        bias_for("no-such-scenario")
+
+
+def test_fuzz_with_scenario_bias_stays_green():
+    report = fuzz(master_seed=3, iters=2, scenario="lock-convoy")
+    assert report.ok, report.failure
+    assert report.scenario == "lock-convoy"
+    # Protocol pinned: every exercised combo runs the scenario's protocol.
+    assert {p for (p, _m), n in report.runs_by_combo.items() if n > 0} == {"primitives"}
+
+
+def test_fuzz_scenario_grafts_targeted_drops_onto_every_run(monkeypatch):
+    """Every run_program call carries the scenario's targeted entries —
+    both with ``--faults`` (grafted onto the drawn spec) and without
+    (standalone targeted-only spec)."""
+    specs = []
+
+    def spy_run_program(program, **kwargs):
+        specs.append(kwargs.get("faults"))
+        return None  # every run passes; we only inspect the schedule
+
+    monkeypatch.setattr(fuzz_mod, "run_program", spy_run_program)
+    for with_faults in (False, True):
+        specs.clear()
+        report = fuzz_mod.fuzz(
+            master_seed=3, iters=3, scenario="denial-of-progress", faults=with_faults
+        )
+        assert report.ok
+        assert len(specs) == 3
+        for spec in specs:
+            assert spec is not None
+            assert any(m == "LOCK_GRANT" for m, _, _ in spec.targeted)

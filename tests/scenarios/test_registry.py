@@ -1,0 +1,90 @@
+"""Registry contents and the Envelope validation surface."""
+
+import pytest
+
+from repro.scenarios import (
+    Envelope,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+
+#: The catalog is a contract: CI subsets and docs reference these names.
+EXPECTED = [
+    "barrier-straggler",
+    "cbl-queue-thrash",
+    "denial-of-progress",
+    "denial-of-progress-overbudget",
+    "false-sharing",
+    "hot-block-ping-pong",
+    "lock-convoy",
+    "np-flood",
+    "ru-churn",
+]
+
+
+def test_catalog_names_pinned():
+    assert scenario_names() == EXPECTED
+
+
+def test_all_scenarios_sorted_and_complete():
+    scns = all_scenarios()
+    assert [s.name for s in scns] == EXPECTED
+    for s in scns:
+        assert s.description
+        assert s.protocol in ("wbi", "primitives", "writeupdate")
+
+
+def test_get_scenario_unknown_names_known_set():
+    with pytest.raises(KeyError, match="lock-convoy"):
+        get_scenario("no-such-scenario")
+
+
+def test_duplicate_registration_rejected():
+    scn = get_scenario("lock-convoy")
+    with pytest.raises(ValueError, match="already registered"):
+        register(scn)
+
+
+def test_hang_policy_split():
+    """Exactly one catalog entry expects a hang, and it has a fault plan."""
+    expecting = [s for s in all_scenarios() if s.envelope.hang_policy == "expect"]
+    assert [s.name for s in expecting] == ["denial-of-progress-overbudget"]
+    assert expecting[0].fault_spec is not None
+
+
+def test_denial_scenarios_declare_recovery_requirements():
+    dop = get_scenario("denial-of-progress")
+    assert "resilience.timeouts" in dop.envelope.require_recovery
+    assert "resilience.retries" in dop.envelope.require_recovery
+    assert "fault.targeted_drops" in dop.envelope.require_faults
+
+
+def test_envelope_validation():
+    with pytest.raises(ValueError, match="hang_policy"):
+        Envelope(max_slowdown=2.0, hang_policy="maybe")
+    with pytest.raises(ValueError, match="max_slowdown"):
+        Envelope(max_slowdown=1.0, min_slowdown=2.0)
+    with pytest.raises(ValueError, match="max_message_blowup"):
+        Envelope(max_slowdown=2.0, max_message_blowup=0.0)
+
+
+def test_envelope_to_dict_keys_pinned():
+    env = Envelope(max_slowdown=3.0, require_recovery=("resilience.retries",))
+    assert sorted(env.to_dict()) == [
+        "hang_policy",
+        "max_message_blowup",
+        "max_slowdown",
+        "min_slowdown",
+        "require_faults",
+        "require_recovery",
+    ]
+
+
+def test_scenario_is_frozen():
+    scn = get_scenario("lock-convoy")
+    assert isinstance(scn, Scenario)
+    with pytest.raises(AttributeError):
+        scn.name = "renamed"

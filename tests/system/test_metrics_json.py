@@ -47,6 +47,44 @@ def test_unknown_keys_are_rejected():
         RunMetrics.from_json({"completion_time": 1.0, "typo_field": 2})
 
 
+def test_drop_log_tail_roundtrips():
+    """The drop-log tail (PR 7) rides the document and survives the trip."""
+    m = RunMetrics(
+        faults={"fault.targeted_drops": 1},
+        drop_log_tail=["t=36 targeted drop #0 INV 0->1 addr=0"],
+    )
+    doc = json.loads(json.dumps(m.to_json()))
+    assert doc["drop_log_tail"] == ["t=36 targeted drop #0 INV 0->1 addr=0"]
+    back = RunMetrics.from_json(doc)
+    assert back == m
+    # from_json copies: mutating the document must not reach the object.
+    doc["drop_log_tail"].append("tampered")
+    assert back.drop_log_tail == ["t=36 targeted drop #0 INV 0->1 addr=0"]
+
+
+def test_targeted_drop_run_populates_tail():
+    cfg = MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2, seed=5)
+    spec = FaultSpec(targeted=(("INV", 0, 1),))
+    machine = Machine(cfg, protocol="wbi", faults=spec)
+    word = machine.alloc_word()
+
+    def reader(proc):
+        yield from proc.shared_read(word)
+        yield from proc.compute(50)
+
+    def writer(proc):
+        yield from proc.compute(30)
+        yield from proc.shared_write(word, 7)
+
+    machine.spawn(reader(machine.processor(1)), name="r")
+    machine.spawn(writer(machine.processor(2)), name="w")
+    machine.run_all()
+    m = machine.metrics()
+    assert any("targeted drop" in line for line in m.drop_log_tail)
+    back = RunMetrics.from_json(json.loads(json.dumps(m.to_json())))
+    assert back.drop_log_tail == m.drop_log_tail
+
+
 def test_faulty_run_metrics_roundtrip():
     """Retry/timeout/fault tallies survive the trip (the PR 2 fields)."""
     cfg = MachineConfig(n_nodes=4, cache_blocks=64, cache_assoc=2, seed=7)
