@@ -23,9 +23,19 @@ The gates are *ratios* measured in the same process on the same machine
 independent; ``--check-floors`` re-reads the JSON and fails CI when a
 ratio regresses below its pinned floor.
 
+The PR8 section times the traffic frontend's demand generator (the
+open-loop schedule builder: arrivals + client multiplexing + Zipf keys
+for ~1M requests over a 2M-client population) and writes
+``BENCH_PR8.json``.  Its gate is an *absolute* requests/sec floor —
+deliberately set an order of magnitude below the measured rate, so it
+only fires if schedule building falls off the vectorized path (e.g. a
+per-request python loop sneaking in), not on runner load.
+
 Run:  python benchmarks/perf_smoke.py [--out BENCH_PR3.json]
                                       [--pr4-out BENCH_PR4.json]
+                                      [--pr8-out BENCH_PR8.json]
       python benchmarks/perf_smoke.py --check-floors BENCH_PR4.json
+      python benchmarks/perf_smoke.py --check-floors BENCH_PR8.json
 """
 
 from __future__ import annotations
@@ -50,6 +60,10 @@ PROTOCOLS = ("wbi", "primitives", "writeupdate")
 # Pinned ratio floors for the PR4 gates (see module docstring).
 KERNEL_SPEEDUP_FLOOR = 1.5
 SWEEP_CACHED_SPEEDUP_FLOOR = 3.0
+
+# Absolute floor for the PR8 demand-generator gate: measured ~2-7M req/s;
+# the floor is >10x below that so it only catches algorithmic regressions.
+DEMAND_THROUGHPUT_FLOOR = 200_000.0
 
 
 def run_once(protocol: str, obs: ObsParams | None = None, fast_path: bool | None = None):
@@ -224,11 +238,83 @@ def run_pr4(out_path: str) -> dict:
     return doc
 
 
+def demand_bench() -> dict:
+    """Demand-generator throughput: requests/sec of the open-loop schedule
+    builder (arrivals, client multiplexing, Zipf keys) at million-request
+    scale.  Best of ``REPEATS`` runs — the gate is about the vectorized
+    path staying vectorized, not about runner load."""
+    import numpy as np
+
+    from repro.workloads.demand import DemandParams, OpenLoopDemand
+
+    params = DemandParams(
+        process="poisson",
+        rate=20.0,
+        horizon=50_000.0,
+        n_clients=2_000_000,
+        n_keys=1_024,
+    )
+    dem = OpenLoopDemand(params)
+    dem.build(np.random.default_rng(0))  # warm numpy / allocators
+    best = float("inf")
+    requests = 0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        sched = dem.build(np.random.default_rng(1))
+        best = min(best, time.perf_counter() - t0)
+        requests = sched.n_requests
+    return {
+        "requests": requests,
+        "n_clients": params.n_clients,
+        "wall_seconds": best,
+        "requests_per_sec": requests / best if best > 0 else 0.0,
+    }
+
+
+def run_pr8(out_path: str) -> dict:
+    """Measure the PR8 traffic-frontend set and write ``BENCH_PR8.json``."""
+    demand = demand_bench()
+    doc = {
+        "demand_generator": demand,
+        "floors": {
+            "demand_requests_per_sec_min": DEMAND_THROUGHPUT_FLOOR,
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(
+        f"demand generator: {demand['requests']:,} requests over "
+        f"{demand['n_clients']:,} clients in {demand['wall_seconds']:.3f}s = "
+        f"{demand['requests_per_sec']:,.0f} req/s "
+        f"(floor {DEMAND_THROUGHPUT_FLOOR:,.0f})"
+    )
+    print(f"wrote {out_path}")
+    return doc
+
+
 def check_floors(path: str) -> int:
-    """CI gate: re-read ``BENCH_PR4.json`` and fail on a regressed ratio."""
+    """CI gate: re-read a benchmark file and fail on a regressed floor.
+
+    Dispatches on the document's keys, so the one flag validates both
+    ``BENCH_PR4.json`` (ratio floors) and ``BENCH_PR8.json`` (absolute
+    demand-generator throughput)."""
     with open(path) as fh:
         doc = json.load(fh)
     floors = doc["floors"]
+    if "demand_generator" in doc:
+        rps = doc["demand_generator"]["requests_per_sec"]
+        if rps < floors["demand_requests_per_sec_min"]:
+            print(
+                f"FLOOR VIOLATION: demand generator {rps:,.0f} req/s below "
+                f"floor {floors['demand_requests_per_sec_min']:,.0f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"floors ok: demand generator {rps:,.0f} req/s >= "
+            f"{floors['demand_requests_per_sec_min']:,.0f}"
+        )
+        return 0
     failures = []
     k = doc["kernel_microbench"]["speedup"]
     if k < floors["kernel_speedup_min"]:
@@ -261,8 +347,12 @@ def main(argv=None) -> int:
         help="fast-path/sweep benchmark output path ('' to skip)",
     )
     ap.add_argument(
-        "--check-floors", metavar="BENCH_PR4.json", default=None,
-        help="validate an existing PR4 benchmark file against its floors and exit",
+        "--pr8-out", default="BENCH_PR8.json",
+        help="demand-generator benchmark output path ('' to skip)",
+    )
+    ap.add_argument(
+        "--check-floors", metavar="BENCH.json", default=None,
+        help="validate an existing benchmark file (PR4 or PR8) against its floors and exit",
     )
     args = ap.parse_args(argv)
 
@@ -292,6 +382,8 @@ def main(argv=None) -> int:
 
     if args.pr4_out:
         run_pr4(args.pr4_out)
+    if args.pr8_out:
+        run_pr8(args.pr8_out)
     return 0
 
 

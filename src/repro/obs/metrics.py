@@ -20,9 +20,9 @@ run, so ``sum(p.cycles) + unattributed_cycles == totals.completion_time``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
-from ..system.metrics import RunMetrics
+from ..system.metrics import LatencyHistogram, RunMetrics
 
 __all__ = ["PhaseStat", "PhaseMetrics"]
 
@@ -38,13 +38,18 @@ class PhaseStat:
     flits: int = 0
     msg_by_type: Dict[str, int] = field(default_factory=dict)
     node_counters: Dict[str, int] = field(default_factory=dict)
+    #: Latency-histogram delta for requests *completed* inside this phase
+    #: (``None`` on runs that never recorded a latency).  The count fields
+    #: are true per-phase deltas; ``max`` and ``backlog_peak`` are running
+    #: peaks and carry the peak *observed so far* at phase end.
+    latency: Optional[LatencyHistogram] = None
 
     @property
     def cycles(self) -> float:
         return self.t1 - self.t0
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        d = {
             "name": self.name,
             "t0": self.t0,
             "t1": self.t1,
@@ -53,9 +58,13 @@ class PhaseStat:
             "msg_by_type": dict(self.msg_by_type),
             "node_counters": dict(self.node_counters),
         }
+        if self.latency is not None:
+            d["latency"] = self.latency.to_json()
+        return d
 
     @classmethod
     def from_json(cls, d: Dict[str, Any]) -> "PhaseStat":
+        lat = d.get("latency")
         return cls(
             name=d["name"],
             t0=d["t0"],
@@ -64,6 +73,7 @@ class PhaseStat:
             flits=d["flits"],
             msg_by_type=dict(d.get("msg_by_type", {})),
             node_counters=dict(d.get("node_counters", {})),
+            latency=LatencyHistogram.from_json(lat) if lat is not None else None,
         )
 
 

@@ -21,6 +21,7 @@ from ..faults.plan import FaultSpec, ResilienceParams
 from ..sync.base import CBLLock, HWBarrier
 from ..sync.semaphore import HWSemaphore
 from ..system.config import MachineConfig
+from ..workloads.demand import DemandParams, OpenLoopDemand
 from .base import Envelope, Scenario, ScenarioWorld, register
 
 __all__ = ["build_catalog"]
@@ -409,6 +410,109 @@ def _dop_build(world: ScenarioWorld, attack: bool) -> None:
             world.spawn_attacker(atk(), f"a{j}")
 
 
+def _wu_update_storm_build(world: ScenarioWorld, attack: bool) -> None:
+    """Write-update storm against a Zipf-hot key, with demand-driven victims.
+
+    The victims are a miniature storage service: three nodes serve a
+    bursty open-loop demand schedule drawn through the demand layer
+    (:mod:`repro.workloads.demand`), mostly reading the keys the schedule
+    names.  Under the write-update protocol every reader of a word is
+    registered as a sharer *forever*, so when the attackers sit down on
+    the Zipf-hottest key and write it in a tight loop, each write pushes
+    an update to every registered sharer — the victims' own popularity
+    distribution becomes the attack's fan-out amplifier.  This is the
+    coverage gap the catalog had: wbi and primitives were attacked above,
+    but the writeupdate protocol's always-push sharing had no adversary.
+    """
+    m = world.machine
+    wpb = m.cfg.words_per_block
+    n_blocks = 8
+    first = m.alloc_block(n_blocks)
+    blocks = list(range(first, first + n_blocks))
+    # One scratch block gives every server a private word to write: under
+    # write-update, concurrent writers to the *same* word can leave a
+    # sharer's copy update-reordered (the coherence checker rejects that),
+    # so each word below has exactly one writer for the whole run.
+    scratch = m.alloc_block(1)
+    demand = OpenLoopDemand(
+        DemandParams(
+            process="bursty",
+            rate=0.08,
+            horizon=2_500.0,
+            n_clients=50_000,
+            n_keys=64,
+            zipf_s=1.2,
+        )
+    )
+    sched = demand.build(m.rng.stream("scn.wu-update-storm.demand"))
+    # Key 0 is the Zipf mode by construction; resolve it from the data so
+    # the attack tracks the demand layer rather than assuming it.
+    hot_key = int(sched.hot_key_counts().argmax())
+    hot_block = blocks[hot_key % n_blocks]
+    n_servers = 3
+    world.record("requests", sched.n_requests)
+
+    def victim(i: int):
+        proc = m.processor(i)
+        rows = [r for r in range(sched.n_requests) if int(sched.key[r]) % n_servers == i]
+        issue = [float(sched.issue_t[r]) for r in rows]
+        keys = [int(sched.key[r]) for r in rows]
+        my_word = m.amap.word_addr(scratch, i)
+
+        def body():
+            served = 0
+            for j in range(len(rows)):
+                while m.sim.now < issue[j]:
+                    yield from proc.compute(issue[j] - m.sim.now)
+                addr = m.amap.word_addr(blocks[keys[j] % n_blocks], keys[j] % wpb)
+                yield from proc.shared_read(addr)
+                if j % 8 == 7:
+                    yield from proc.shared_write(my_word, served)
+                served += 1
+            # Closing audit sweep, deliberately *not* gated on issue
+            # times: open-loop victims otherwise idle at the arrival
+            # gates and absorb any fabric congestion invisibly.  Every
+            # write here crosses the network (write-update writes are
+            # never cache-silent), so queueing behind the storm's update
+            # fan-out lands directly in the victims' makespan.
+            for _ in range(60):
+                yield from proc.shared_write(my_word, served)
+            world.record(f"served{i}", served)
+
+        return body()
+
+    expect = [0] * n_servers
+    for r in range(sched.n_requests):
+        expect[int(sched.key[r]) % n_servers] += 1
+    for i in range(n_servers):
+        world.spawn_victim(victim(i), f"v{i}")
+        world.check(
+            lambda i=i: _expect(
+                world, f"served{i}", expect[i], f"wu-update-storm server {i}"
+            )
+        )
+
+    if attack:
+        # Every service key mapping to the hot block shares word index
+        # ``hot_key % wpb`` (key strides of n_blocks are multiples of
+        # wpb), so the other words of that block are victim-free.  Each
+        # attacker storms its *own* free word: write-update pushes every
+        # write to all registered sharers of the block — the victims —
+        # while no two writers ever race on one word (racing writers can
+        # leave sharers update-reordered, which the coherence checker
+        # rightly rejects; this attack is about fan-out, not races).
+        for j in range(wpb - 1):
+            proc = m.processor(n_servers + j)
+            atk_addr = m.amap.word_addr(hot_block, (hot_key + 1 + j) % wpb)
+
+            def atk(proc=proc, atk_addr=atk_addr):
+                yield from proc.shared_read(atk_addr)  # register as sharer
+                for _ in range(250):
+                    yield from proc.shared_write(atk_addr, proc.node_id)
+
+            world.spawn_attacker(atk(), f"a{j}")
+
+
 def _expect(world: ScenarioWorld, key: str, want, label: str) -> None:
     got = world.state.get(key)
     assert got == want, f"{label}: {got} != {want}"
@@ -511,4 +615,13 @@ def build_catalog() -> None:
         ),
         max_cycles=500_000,
         tags=("faults", "watchdog"),
+    ))
+    register(Scenario(
+        name="wu-update-storm",
+        description="write-update storm on the Zipf-hot key of a demand-driven service",
+        protocol="writeupdate",
+        config=_cfg,
+        build=_wu_update_storm_build,
+        envelope=Envelope(max_slowdown=1.6, min_slowdown=1.03, max_message_blowup=18.0),
+        tags=("coherence", "writeupdate", "demand"),
     ))

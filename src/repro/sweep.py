@@ -60,7 +60,7 @@ __all__ = [
 #: Bump when simulated semantics change in a way that invalidates cached
 #: results (new kernel, protocol fix, cost-model change).  Part of every
 #: task digest, so stale caches are simply never hit.
-CACHE_VERSION = "pr7.1"
+CACHE_VERSION = "pr8.2"
 
 
 @dataclass(frozen=True)

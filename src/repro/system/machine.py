@@ -29,7 +29,7 @@ from ..sync.barrier import HardwareBarrierEngine
 from ..sync.cbl import CBLEngine
 from ..sync.semaphore import SemaphoreEngine
 from .config import MachineConfig
-from .metrics import RunMetrics
+from .metrics import LatencyHistogram, RunMetrics
 
 __all__ = ["Machine"]
 
@@ -156,6 +156,10 @@ class Machine:
         self._next_block = 0
         self._procs: List[Process] = []
         self._processors: list = []
+        #: Request-latency histogram (created lazily by the first
+        #: :meth:`record_latencies`); ``None`` on machines that never serve
+        #: open-loop traffic, so existing runs pay and change nothing.
+        self.latency: Optional[LatencyHistogram] = None
         # Phase accounting (always on; cost is per phase *boundary* only):
         # closed phases plus the open one as (name, t0, counter snapshot).
         self._phases_closed: List[PhaseStat] = []
@@ -271,6 +275,21 @@ class Machine:
             )
         return self.sim.now
 
+    # -- request latency (traffic frontend) ---------------------------------
+    def latency_hist(self) -> LatencyHistogram:
+        """The machine's latency histogram, created on first use."""
+        if self.latency is None:
+            self.latency = LatencyHistogram()
+        return self.latency
+
+    def record_latency(self, value: float) -> None:
+        """Record one request latency (cycles) into the run histogram."""
+        self.latency_hist().record(value)
+
+    def record_latencies(self, values) -> None:
+        """Vectorized :meth:`record_latency` for a numpy array of samples."""
+        self.latency_hist().record_many(values)
+
     def _resilience_counter(self, key: str) -> int:
         total = 0
         for node in self.nodes:
@@ -291,12 +310,19 @@ class Machine:
         for proc in self._processors:
             for k in ("compute_cycles", "data_cycles", "sync_cycles"):
                 node_counters[k] = node_counters.get(k, 0) + proc.stats.counters[k]
-        return net["messages"], net["flits"], msg_by_type, node_counters
+        latency = self.latency.copy() if self.latency is not None else None
+        return net["messages"], net["flits"], msg_by_type, node_counters, latency
 
     @staticmethod
     def _close_phase(name: str, t0: float, snap0: tuple, t1: float, snap1: tuple) -> PhaseStat:
-        msgs0, flits0, by_type0, node0 = snap0
-        msgs1, flits1, by_type1, node1 = snap1
+        msgs0, flits0, by_type0, node0, lat0 = snap0
+        msgs1, flits1, by_type1, node1, lat1 = snap1
+        if lat1 is not None:
+            # A phase opened before the first recorded latency deltas
+            # against the empty histogram.
+            latency = lat1.minus(lat0 if lat0 is not None else LatencyHistogram())
+        else:
+            latency = None
         return PhaseStat(
             name=name,
             t0=t0,
@@ -311,6 +337,7 @@ class Machine:
             node_counters={
                 k: v - node0.get(k, 0) for k, v in node1.items() if v - node0.get(k, 0)
             },
+            latency=latency,
         )
 
     def mark_phase(self, name: str) -> None:
@@ -349,7 +376,7 @@ class Machine:
         if self._phase_open is not None:
             name, t0, snap0 = self._phase_open
             phases.append(self._close_phase(name, t0, snap0, now, snap))
-        messages, flits, msg_by_type, node_counters = snap
+        messages, flits, msg_by_type, node_counters, latency = snap
         m = RunMetrics()
         m.completion_time = now
         m.messages = messages
@@ -360,6 +387,7 @@ class Machine:
         m.retries = node_counters.get("resilience.retries", 0)
         m.timeouts = node_counters.get("resilience.timeouts", 0)
         m.timeout_cycles = node_counters.get("resilience.timeout_cycles", 0)
+        m.latency = latency
         if self.fault_plan is not None:
             m.faults = self.fault_plan.counters()
             m.drop_log_tail = list(self.fault_plan.drop_log[-DROP_LOG_TAIL:])
@@ -373,6 +401,7 @@ class Machine:
                     flits=flits,
                     msg_by_type=dict(msg_by_type),
                     node_counters=dict(node_counters),
+                    latency=latency.copy() if latency is not None else None,
                 )
             ]
             unattributed = 0.0

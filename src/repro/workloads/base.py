@@ -17,6 +17,7 @@ __all__ = [
     "GRAIN_SIZES",
     "WorkloadResult",
     "verified_result",
+    "RunBuilder",
 ]
 
 #: Lock scheme name -> factory.  "cbl" is the paper's hardware lock; the
@@ -99,3 +100,70 @@ def verified_result(
         tasks_done=tasks_done,
         extra=extra,
     )
+
+
+class RunBuilder:
+    """Per-run result builder: collects sync objects and extras, then
+    :meth:`finish` pulls the machine metrics and returns through
+    :func:`verified_result`.
+
+    Before this builder every workload repeated the same finish plumbing
+    (``met = machine.metrics()`` then hand each field to
+    ``verified_result``), which made it easy for a new workload to return a
+    bare :class:`WorkloadResult` and silently skip invariant checking.  Now
+    the builder is the one finish path: it owns the metrics pull, threads
+    the latency-histogram summary into ``extra`` when the run recorded
+    request latencies, and cannot produce a result without the conformance
+    walk.
+    """
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.tasks_done = 0
+        self._sync: list = []
+        self._extra: dict = {}
+        self._finished = False
+
+    def add_sync(self, *objects) -> "RunBuilder":
+        """Register locks/barriers for NP/CP-Synch labeling (None skipped)."""
+        self._sync.extend(o for o in objects if o is not None)
+        return self
+
+    def note(self, **extra) -> "RunBuilder":
+        """Attach workload-specific entries to ``result.extra``."""
+        self._extra.update(extra)
+        return self
+
+    def count(self, n: int = 1) -> None:
+        """Tally completed tasks/requests (becomes ``tasks_done``)."""
+        self.tasks_done += n
+
+    def finish(self, tasks_done: Optional[int] = None) -> WorkloadResult:
+        """Close the run: verify invariants and build the result.
+
+        ``tasks_done`` overrides the builder's own tally when given (for
+        workloads that count completions elsewhere).  A builder finishes at
+        most once; a second call raises, catching accidental double-runs.
+        """
+        if self._finished:
+            raise RuntimeError("RunBuilder.finish() called twice for one run")
+        self._finished = True
+        met = self.machine.metrics()
+        extra = dict(self._extra)
+        if met.latency is not None:
+            extra["latency"] = {
+                **met.latency.quantiles(),
+                "mean": met.latency.mean,
+                "requests": met.latency.total,
+                "backlog_peak": met.latency.backlog_peak,
+                "saturated_batches": met.latency.saturated,
+            }
+        return verified_result(
+            self.machine,
+            completion_time=met.completion_time,
+            messages=met.messages,
+            flits=met.flits,
+            tasks_done=self.tasks_done if tasks_done is None else tasks_done,
+            extra=extra,
+            sync_objects=self._sync,
+        )

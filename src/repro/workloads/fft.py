@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Optional
 from ..sync.base import HWBarrier
 from ..system.config import MachineConfig
 from ..system.machine import Machine
-from .base import WorkloadResult, verified_result
+from .base import RunBuilder, WorkloadResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -103,17 +103,12 @@ class FFTWorkload:
             m.spawn(self._driver(proc), name=f"fft-{i}")
         m.run_all(max_cycles)
         met = m.metrics()
-        return verified_result(
-            m,
-            completion_time=met.completion_time,
-            messages=met.messages,
-            flits=met.flits,
-            tasks_done=self.n_phases,
-            extra={
-                "ru_updates": met.msg_by_type.get("RU_UPDATE", 0)
-                + met.msg_by_type.get("RU_UPDATE_FWD", 0)
-            },
+        builder = RunBuilder(m)
+        builder.note(
+            ru_updates=met.msg_by_type.get("RU_UPDATE", 0)
+            + met.msg_by_type.get("RU_UPDATE_FWD", 0)
         )
+        return builder.finish(tasks_done=self.n_phases)
 
 
 def run_fft(n_nodes: int, selective: bool, seed: int = 0, **cfg_kw) -> WorkloadResult:

@@ -36,7 +36,7 @@ from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
 from ..system.config import MachineConfig
 from ..system.machine import Machine
-from .base import WorkloadResult, verified_result
+from .base import RunBuilder, WorkloadResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -144,15 +144,9 @@ class LinSolverWorkload:
                 "flits": (after["flits"] - before["flits"]) / iters,
             }
         ]
-        met = m.metrics()
-        return verified_result(
-            m,
-            completion_time=met.completion_time,
-            messages=met.messages,
-            flits=met.flits,
-            tasks_done=iters,
-            extra={"per_iteration": self.per_iteration[0]},
-        )
+        builder = RunBuilder(m)
+        builder.note(per_iteration=self.per_iteration[0])
+        return builder.finish(tasks_done=iters)
 
 
 def run_linsolver(

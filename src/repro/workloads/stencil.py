@@ -21,7 +21,7 @@ from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
 from ..system.config import MachineConfig
 from ..system.machine import Machine
-from .base import WorkloadResult, verified_result
+from .base import RunBuilder, WorkloadResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -99,14 +99,9 @@ class StencilWorkload:
             m.spawn(self._driver(proc), name=f"stencil-{i}")
         m.run_all(max_cycles)
         met = m.metrics()
-        return verified_result(
-            m,
-            completion_time=met.completion_time,
-            messages=met.messages,
-            flits=met.flits,
-            tasks_done=self.params.sweeps,
-            extra={"barriers": met.msg_by_type.get("BARRIER_ARRIVE", 0)},
-        )
+        builder = RunBuilder(m)
+        builder.note(barriers=met.msg_by_type.get("BARRIER_ARRIVE", 0))
+        return builder.finish(tasks_done=self.params.sweeps)
 
 
 def run_stencil(n_nodes: int, protocol: str = "primitives", network: str = "omega", seed: int = 0, **pkw) -> WorkloadResult:

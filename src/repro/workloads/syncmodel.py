@@ -29,7 +29,9 @@ import numpy as np
 
 from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
-from .base import WorkloadResult, make_lock, verified_result
+from .base import make_lock
+from .demand import ClosedLoopDemand
+from .service import ClosedLoopService
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -64,8 +66,19 @@ class SyncModelParams:
             raise ValueError("n_shared_blocks and n_locks must be positive")
 
 
-class SyncModelWorkload:
-    """Drives one machine with the probabilistic reference stream."""
+class SyncModelWorkload(ClosedLoopService):
+    """Drives one machine with the probabilistic reference stream.
+
+    A closed-loop configuration of the demand/policy/service layering:
+    one logical client per processor issuing exactly ``tasks_per_node``
+    requests back-to-back (:attr:`demand`); placement is identity (client
+    i *is* node i); the service body is the Table-4 stream in
+    :meth:`_driver`.  Scaffold and verified finish come from
+    :class:`~repro.workloads.service.ClosedLoopService`.
+    """
+
+    name = "syncmodel"
+    default_max_cycles = 50_000_000
 
     def __init__(
         self,
@@ -74,10 +87,8 @@ class SyncModelWorkload:
         lock_scheme: str = "cbl",
         consistency: str = "sc",
     ):
-        self.machine = machine
+        super().__init__(machine, lock_scheme, consistency)
         self.params = params or SyncModelParams()
-        self.lock_scheme = lock_scheme
-        self.consistency = consistency
         p = self.params
         first_shared = machine.alloc_block(p.n_shared_blocks)
         self.shared_blocks = list(range(first_shared, first_shared + p.n_shared_blocks))
@@ -92,7 +103,8 @@ class SyncModelWorkload:
             self.barrier = None
         # Private address space: one region per node, far from shared data.
         self._private_base = machine.alloc_block(64 * n)
-        self.tasks_done = 0
+        self.builder.add_sync(*self.locks).add_sync(self.barrier)
+        self.demand = ClosedLoopDemand(n_clients=n, requests_per_client=p.tasks_per_node)
         # Whether the sync episode after task k is a barrier must be agreed
         # by all processors (a barrier only some join would deadlock), so it
         # is drawn once from a machine-level stream.
@@ -152,20 +164,3 @@ class SyncModelWorkload:
                         yield from proc.shared_write(addr, proc.node_id)
                 yield from proc.release(lock)
             self.tasks_done += 1
-
-    # -- execution ----------------------------------------------------------
-    def run(self, max_cycles: Optional[float] = 50_000_000) -> WorkloadResult:
-        m = self.machine
-        for i in range(m.cfg.n_nodes):
-            proc = m.processor(i, consistency=self.consistency)
-            m.spawn(self._driver(proc), name=f"syncmodel-{i}")
-        m.run_all(max_cycles)
-        met = m.metrics()
-        return verified_result(
-            m,
-            completion_time=met.completion_time,
-            messages=met.messages,
-            flits=met.flits,
-            tasks_done=self.tasks_done,
-            sync_objects=self.locks + ([self.barrier] if self.barrier else []),
-        )

@@ -15,11 +15,21 @@ import json
 from dataclasses import dataclass
 from typing import IO, TYPE_CHECKING, Iterable, List, Optional
 
+from .demand import ClosedLoopDemand
+from .service import ClosedLoopService
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
     from ..system.machine import Machine
 
-__all__ = ["TraceEntry", "TraceRecorder", "replay", "save_trace", "load_trace"]
+__all__ = [
+    "TraceEntry",
+    "TraceRecorder",
+    "TraceReplayWorkload",
+    "replay",
+    "save_trace",
+    "load_trace",
+]
 
 #: Operations a trace may contain, mapping to Processor methods.
 _REPLAYABLE = {
@@ -142,6 +152,41 @@ def _node_driver(proc: "Processor", entries: List[TraceEntry], downgrade: bool):
             raise ValueError(f"trace contains unreplayable op {op!r}")
 
 
+class TraceReplayWorkload(ClosedLoopService):
+    """Trace replay as a closed-loop service configuration.
+
+    The demand is the trace itself (each traced node is one logical
+    client draining its recorded request list); placement is fixed by the
+    recording; the service body is the per-entry dispatch in
+    ``_node_driver``.  Spawn order follows the trace's node-first-
+    appearance order, exactly as the standalone ``replay()`` always did.
+    """
+
+    name = "replay"
+    default_max_cycles = 100_000_000
+
+    def __init__(self, machine: "Machine", trace: Iterable[TraceEntry], consistency: str = "sc"):
+        super().__init__(machine, consistency=consistency)
+        self._per_node: dict[int, List[TraceEntry]] = {}
+        n_entries = 0
+        for e in trace:
+            if e.op not in _REPLAYABLE:
+                raise ValueError(f"unreplayable op {e.op!r} in trace")
+            self._per_node.setdefault(e.node, []).append(e)
+            n_entries += 1
+        self.builder.count(n_entries)
+        self.demand = ClosedLoopDemand(
+            n_clients=max(1, len(self._per_node)), until_drained=True
+        )
+
+    def _spawn_all(self) -> None:
+        m = self.machine
+        downgrade = m.protocol != "primitives"
+        for node_id, entries in self._per_node.items():
+            proc = m.processor(node_id, consistency=self.consistency)
+            m.spawn(_node_driver(proc, entries, downgrade), name=f"replay-{node_id}")
+
+
 def replay(
     machine: "Machine",
     trace: Iterable[TraceEntry],
@@ -149,16 +194,7 @@ def replay(
     max_cycles: Optional[float] = 100_000_000,
 ) -> float:
     """Re-execute ``trace`` on ``machine``; returns completion time."""
-    per_node: dict[int, List[TraceEntry]] = {}
-    for e in trace:
-        if e.op not in _REPLAYABLE:
-            raise ValueError(f"unreplayable op {e.op!r} in trace")
-        per_node.setdefault(e.node, []).append(e)
-    downgrade = machine.protocol != "primitives"
-    for node_id, entries in per_node.items():
-        proc = machine.processor(node_id, consistency=consistency)
-        machine.spawn(_node_driver(proc, entries, downgrade), name=f"replay-{node_id}")
-    machine.run_all(max_cycles)
+    TraceReplayWorkload(machine, trace, consistency=consistency).run(max_cycles)
     return machine.sim.now
 
 

@@ -27,7 +27,9 @@ import numpy as np
 
 from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
-from .base import WorkloadResult, make_lock, verified_result
+from .base import make_lock
+from .demand import ClosedLoopDemand
+from .service import ClosedLoopService
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..node.processor import Processor
@@ -125,8 +127,20 @@ class _TaskGraph:
         return len(self.completed) == len(self.deps)
 
 
-class WorkQueueWorkload:
-    """Dynamic-scheduling workload on one machine."""
+class WorkQueueWorkload(ClosedLoopService):
+    """Dynamic-scheduling workload on one machine.
+
+    In demand/policy/service terms this is a closed-loop configuration:
+    one logical client per processor, each issuing its next dequeue when
+    the previous task completes, until the shared pool drains
+    (:attr:`demand`); placement is the queue itself (whoever wins the lock
+    takes the task); the service body is the Table-4 reference stream in
+    :meth:`_task_refs`.  The run scaffold and the verified finish path
+    come from :class:`~repro.workloads.service.ClosedLoopService`.
+    """
+
+    name = "workqueue"
+    default_max_cycles = 100_000_000
 
     def __init__(
         self,
@@ -135,10 +149,8 @@ class WorkQueueWorkload:
         lock_scheme: str = "cbl",
         consistency: str = "sc",
     ):
-        self.machine = machine
+        super().__init__(machine, lock_scheme, consistency)
         self.params = params or WorkQueueParams()
-        self.lock_scheme = lock_scheme
-        self.consistency = consistency
         p = self.params
         self.queue_lock = make_lock(machine, lock_scheme)
         # Queue bookkeeping words (head/tail/count) live on shared blocks.
@@ -155,7 +167,8 @@ class WorkQueueWorkload:
         self._private_base = machine.alloc_block(64 * n)
         self.graph = _TaskGraph(p.n_tasks, p.dep_prob, machine.rng.stream("workqueue:deps"))
         self._spawned = 0
-        self.tasks_done = 0
+        self.builder.add_sync(self.queue_lock, self.barrier)
+        self.demand = ClosedLoopDemand(n_clients=n, until_drained=True)
 
     # -- pieces of the driver --------------------------------------------------
     def _queue_refs(self, proc: "Processor", rng) -> "Generator":
@@ -255,21 +268,3 @@ class WorkQueueWorkload:
             self.tasks_done += 1
         if self.barrier is not None:
             yield from proc.barrier(self.barrier)
-
-    # -- execution ----------------------------------------------------------
-    def run(self, max_cycles: Optional[float] = 100_000_000) -> WorkloadResult:
-        m = self.machine
-        for i in range(m.cfg.n_nodes):
-            proc = m.processor(i, consistency=self.consistency)
-            m.spawn(self._driver(proc), name=f"workqueue-{i}")
-        m.run_all(max_cycles)
-        met = m.metrics()
-        return verified_result(
-            m,
-            completion_time=met.completion_time,
-            messages=met.messages,
-            flits=met.flits,
-            tasks_done=self.tasks_done,
-            sync_objects=[self.queue_lock]
-            + ([self.barrier] if self.barrier else []),
-        )

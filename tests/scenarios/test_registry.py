@@ -22,6 +22,7 @@ EXPECTED = [
     "lock-convoy",
     "np-flood",
     "ru-churn",
+    "wu-update-storm",
 ]
 
 

@@ -104,3 +104,83 @@ def test_faulty_run_metrics_roundtrip():
     assert sum(m.faults.values()) > 0  # the lossy fabric actually lost things
     back = RunMetrics.from_json(json.loads(json.dumps(m.to_json())))
     assert back == m
+
+
+# ---------------------------------------------------------------------------
+# Latency histogram (PR 8): tail-latency fields ride the same document.
+# ---------------------------------------------------------------------------
+
+from repro.system.metrics import LatencyHistogram  # noqa: E402
+
+
+def _sample_hist():
+    h = LatencyHistogram()
+    h.record_many([1.0, 2.0, 5.0, 40.0, 900.0, 900.0, 12345.0])
+    h.record(3.5)
+    h.note_backlog(17)
+    h.note_backlog(5)  # peak keeps the max
+    h.note_saturated()
+    return h
+
+
+def test_latency_histogram_roundtrip():
+    h = _sample_hist()
+    back = LatencyHistogram.from_json(json.loads(json.dumps(h.to_json())))
+    assert back == h
+    assert back.quantiles() == h.quantiles()
+    assert back.backlog_peak == 17 and back.saturated == 1
+
+
+def test_latency_histogram_tolerates_unknown_keys():
+    """Histogram docs live in long-lived caches: a newer writer's extra
+    counter must not make archived documents unreadable (deliberately the
+    opposite posture from RunMetrics.from_json)."""
+    doc = _sample_hist().to_json()
+    doc["p50_hint"] = 2.0  # a field this reader has never heard of
+    back = LatencyHistogram.from_json(doc)
+    assert back == _sample_hist()
+
+
+def test_run_metrics_latency_roundtrip():
+    m = RunMetrics(completion_time=50.0, messages=9, latency=_sample_hist())
+    doc = json.loads(json.dumps(m.to_json()))
+    assert doc["latency"]["total"] == 8
+    back = RunMetrics.from_json(doc)
+    assert back == m
+    assert back.latency is not None
+    assert back.latency.quantiles() == m.latency.quantiles()
+
+
+def test_run_metrics_latency_defaults_to_none():
+    """Runs that never recorded a latency carry None, and old documents
+    without the key still load."""
+    m = RunMetrics(completion_time=1.0)
+    assert json.loads(json.dumps(m.to_json()))["latency"] is None
+    assert RunMetrics.from_json({"completion_time": 1.0}).latency is None
+    assert RunMetrics.from_json(m.to_json()).latency is None
+
+
+def test_machine_run_populates_per_phase_latency():
+    """record_latencies lands in RunMetrics.latency and in the phase stats
+    as per-phase deltas."""
+    cfg = MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2, seed=3)
+    machine = Machine(cfg, protocol="wbi")
+
+    def driver(proc):
+        machine.mark_phase("warm")
+        yield from proc.compute(10)
+        machine.record_latencies([2.0, 4.0])
+        machine.mark_phase("serve")
+        yield from proc.compute(10)
+        machine.record_latency(8.0)
+
+    machine.spawn(driver(machine.processor(0)), name="d")
+    machine.run_all()
+    m = machine.metrics()
+    assert m.latency is not None and m.latency.total == 3
+    pm = machine.phase_metrics()
+    phases = {p.name: p for p in pm.phases}
+    assert phases["warm"].latency.total == 2
+    assert phases["serve"].latency.total == 1
+    back = RunMetrics.from_json(json.loads(json.dumps(m.to_json())))
+    assert back.latency == m.latency

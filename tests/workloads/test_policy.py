@@ -1,0 +1,70 @@
+"""Policy layer: placement decisions over a demand schedule."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.demand import DemandParams, OpenLoopDemand
+from repro.workloads.policy import POLICY_FACTORIES, make_policy
+
+
+def _schedule(zipf_s=1.5, seed=5):
+    p = DemandParams(process="poisson", rate=0.5, horizon=2_000.0, n_clients=1_000, n_keys=32, zipf_s=zipf_s)
+    return OpenLoopDemand(p).build(np.random.default_rng(seed))
+
+
+def test_registry_names():
+    assert sorted(POLICY_FACTORIES) == ["hot-key", "round-robin", "static-shard"]
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        make_policy("teleport")
+
+
+def test_static_shard_is_key_affine():
+    sched = _schedule()
+    pl = make_policy("static-shard").place(sched, 4)
+    assert np.array_equal(pl.node, sched.key % 4)
+    assert np.array_equal(pl.shard_of_key, np.arange(sched.n_keys) % 4)
+
+
+def test_round_robin_is_arrival_balanced():
+    sched = _schedule()
+    pl = make_policy("round-robin").place(sched, 4)
+    assert np.array_equal(pl.node, np.arange(sched.n_requests) % 4)
+    sizes = [pl.requests_of(i).size for i in range(4)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_requests_of_partitions_the_schedule():
+    sched = _schedule()
+    for name in POLICY_FACTORIES:
+        pl = make_policy(name).place(sched, 4)
+        rows = np.concatenate([pl.requests_of(i) for i in range(4)])
+        assert rows.size == sched.n_requests
+        assert np.array_equal(np.sort(rows), np.arange(sched.n_requests))
+
+
+def test_hot_key_policy_spreads_the_hot_head():
+    sched = _schedule(zipf_s=1.5)
+    n_nodes = 4
+    pl = make_policy("hot-key", hot_k=1).place(sched, n_nodes)
+    hot = int(sched.hot_key_counts().argmax())
+    hot_rows = np.flatnonzero(sched.key == hot)
+    # The molten key is served by every node, rotating by arrival order...
+    assert np.array_equal(pl.node[hot_rows], np.arange(hot_rows.size) % n_nodes)
+    # ...while cold keys keep static-shard affinity.
+    cold = np.flatnonzero(sched.key != hot)
+    assert np.array_equal(pl.node[cold], sched.key[cold] % n_nodes)
+
+
+def test_hot_key_zero_is_static_shard():
+    sched = _schedule()
+    a = make_policy("hot-key", hot_k=0).place(sched, 4)
+    b = make_policy("static-shard").place(sched, 4)
+    assert np.array_equal(a.node, b.node)
+
+
+def test_placement_is_deterministic():
+    for name in POLICY_FACTORIES:
+        a = make_policy(name).place(_schedule(seed=9), 8)
+        b = make_policy(name).place(_schedule(seed=9), 8)
+        assert np.array_equal(a.node, b.node)
+        assert np.array_equal(a.shard_of_key, b.shard_of_key)

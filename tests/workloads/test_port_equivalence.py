@@ -1,0 +1,93 @@
+"""Port-equivalence pins for the PR 8 re-layering.
+
+The workqueue / syncmodel / trace-replay workloads were ported from
+hand-rolled run loops onto :class:`repro.workloads.service.ClosedLoopService`
+(the demand/policy/service layering).  The port's contract is *exact*
+reproduction: these fingerprints were captured on the pre-port code at the
+configurations below, and the ported workloads must keep matching them
+cycle-for-cycle and message-for-message.  A diff here means the layering
+changed simulated behavior — a port bug, not a baseline to refresh.
+"""
+
+import io
+
+from repro import Machine, MachineConfig
+from repro.workloads import (
+    SyncModelParams,
+    SyncModelWorkload,
+    WorkQueueParams,
+    WorkQueueWorkload,
+)
+from repro.workloads.traces import TraceRecorder, load_trace, replay, save_trace
+
+#: Captured on the pre-port tree (seed configs below), 2026-08.
+BASELINE = {
+    "workqueue/cbl": {"completion_time": 593, "messages": 149, "flits": 356, "tasks_done": 8},
+    "workqueue/tts": {"completion_time": 1498, "messages": 568, "flits": 1218, "tasks_done": 8},
+    "workqueue/mcs": {"completion_time": 1414, "messages": 466, "flits": 1086, "tasks_done": 8},
+    "syncmodel/cbl": {"completion_time": 182, "messages": 60, "flits": 132, "tasks_done": 8},
+    "syncmodel/tts": {"completion_time": 319, "messages": 102, "flits": 242, "tasks_done": 8},
+    "replay/primitives": {"completion_time": 60},
+    "replay/wbi": {"completion_time": 48},
+}
+
+
+def _fingerprint(res):
+    return {
+        "completion_time": res.completion_time,
+        "messages": res.messages,
+        "flits": res.flits,
+        "tasks_done": res.tasks_done,
+    }
+
+
+def _machine(lock):
+    protocol = "primitives" if lock == "cbl" else "wbi"
+    cfg = MachineConfig(n_nodes=4, cache_blocks=128, cache_assoc=2, seed=1)
+    return Machine(cfg, protocol=protocol)
+
+
+def test_workqueue_port_is_bit_identical():
+    for lock in ("cbl", "tts", "mcs"):
+        m = _machine(lock)
+        wl = WorkQueueWorkload(m, WorkQueueParams(n_tasks=8, grain_size=20), lock_scheme=lock)
+        assert _fingerprint(wl.run()) == BASELINE[f"workqueue/{lock}"], lock
+
+
+def test_syncmodel_port_is_bit_identical():
+    for lock in ("cbl", "tts"):
+        m = _machine(lock)
+        wl = SyncModelWorkload(m, SyncModelParams(tasks_per_node=2, grain_size=20), lock_scheme=lock)
+        assert _fingerprint(wl.run()) == BASELINE[f"syncmodel/{lock}"], lock
+
+
+def _record_reference_trace():
+    m = Machine(MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2, seed=3), protocol="primitives")
+
+    def driver(rec, base):
+        yield from rec.write(base, 7)
+        v = yield from rec.read(base)
+        yield from rec.shared_write(base + 64, v + 1)
+        yield from rec.shared_read(base + 64)
+        yield from rec.compute(10)
+        yield from rec.read_update(base + 128)
+        yield from rec.reset_update(base + 128)
+
+    trace = []
+    for i in range(2):
+        rec = TraceRecorder(m.processor(i), trace)
+        m.spawn(driver(rec, 4096 * (i + 1)), name=f"rec-{i}")
+    m.run_all()
+    # Round-trip through the on-disk format, exactly like the capture did.
+    buf = io.StringIO()
+    save_trace(trace, buf)
+    buf.seek(0)
+    return load_trace(buf)
+
+
+def test_trace_replay_port_is_bit_identical():
+    trace = _record_reference_trace()
+    for proto in ("primitives", "wbi"):
+        m = Machine(MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2, seed=3), protocol=proto)
+        t = replay(m, trace)
+        assert t == BASELINE[f"replay/{proto}"]["completion_time"], proto

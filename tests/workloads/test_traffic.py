@@ -1,0 +1,88 @@
+"""Traffic frontend: open-loop driving of the demand/policy/service stack.
+
+The acceptance property here is *bit-identity*: a traffic point is a pure
+function of its arguments, across repeats and across simulator kernels
+(the heap kernel check runs the same point in a subprocess with
+``REPRO_KERNEL=heap``, since the kernel choice is bound at import time).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.workloads.policy import POLICY_FACTORIES
+from repro.workloads.service import SERVICE_FACTORIES, make_service
+from repro.workloads.traffic import traffic_point
+
+#: Small but non-trivial: a few hundred requests over 4 nodes.
+POINT = dict(rate=0.4, horizon=1_200.0, n_clients=50_000, n_keys=64, n_nodes=4, seed=9)
+
+
+def test_traffic_point_bit_identical_across_repeats():
+    a = traffic_point(**POINT)
+    b = traffic_point(**POINT)
+    assert a == b
+
+
+def test_traffic_point_histogram_is_populated():
+    r = traffic_point(**POINT)
+    assert r["served"] == r["requests"] > 0
+    assert r["distinct_clients"] > 0
+    assert r["p50"] > 0
+    assert r["p50"] <= r["p95"] <= r["p99"] <= r["p999"]
+    assert r["mean"] > 0
+    assert r["completion_time"] > 0 and r["messages"] > 0
+
+
+def test_traffic_point_matches_heap_kernel():
+    fast = traffic_point(**POINT)
+    code = (
+        "import json\n"
+        "from repro.workloads.traffic import traffic_point\n"
+        f"print(json.dumps(traffic_point(**{POINT!r}), sort_keys=True))\n"
+    )
+    env = dict(os.environ, REPRO_KERNEL="heap", PYTHONPATH="src")
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, cwd=os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        capture_output=True, text=True, check=True,
+    )
+    heap = json.loads(out.stdout)
+    assert heap == json.loads(json.dumps(fast))
+
+
+def test_overdriven_point_saturates_and_backlogs():
+    r = traffic_point(rate=4.0, horizon=400.0, n_clients=10_000, n_keys=32,
+                      n_nodes=2, seed=3, batch_cap=8, service_cycles=4.0)
+    assert r["saturated_batches"] > 0
+    assert r["backlog_peak"] > 8
+    # Open loop: the servers still drain everything they were sent.
+    assert r["served"] == r["requests"]
+
+
+@pytest.mark.parametrize("policy", sorted(POLICY_FACTORIES))
+@pytest.mark.parametrize("service", sorted(SERVICE_FACTORIES))
+def test_every_policy_service_pair_runs(policy, service):
+    r = traffic_point(rate=0.2, horizon=500.0, n_clients=1_000, n_keys=16,
+                      n_nodes=2, seed=1, policy=policy, service=service)
+    assert r["served"] == r["requests"] > 0
+
+
+def test_unknown_service_rejected():
+    from repro import Machine, MachineConfig
+
+    m = Machine(MachineConfig(n_nodes=2, cache_blocks=64, cache_assoc=2, seed=1), protocol="wbi")
+    with pytest.raises(ValueError, match="unknown service"):
+        make_service("blockchain", m)
+
+
+def test_writeupdate_protocol_point_runs():
+    """The traffic frontend drives all three protocols; writeupdate has no
+    lock hardware and no invalidations to spin on, so it takes the
+    uncached ts lock — exercised through the lock-guarded queue service."""
+    r = traffic_point(rate=0.2, horizon=500.0, n_clients=1_000, n_keys=16,
+                      n_nodes=2, seed=2, protocol="writeupdate", lock_scheme="ts",
+                      service="queue")
+    assert r["served"] == r["requests"] > 0
