@@ -31,11 +31,26 @@ deliberately set an order of magnitude below the measured rate, so it
 only fires if schedule building falls off the vectorized path (e.g. a
 per-request python loop sneaking in), not on runner load.
 
+The PR9 section is a per-layer microbenchmark suite writing
+``BENCH_PR9.json``:
+
+* **kernel drain** — events/sec draining a prefilled same-instant burst
+  over deep ballast, per calendar discipline.  This isolates the batched
+  dispatch loop (what PR9 optimized) from event *creation* (a workload-
+  side cost both disciplines share); gate: batched/heap >= 3x.
+* **vectorized rounds** — references/sec compiling sync-model task plans,
+  numpy builder vs. the scalar referee; gate: >= 4x.
+* **quick report** — wall-clock of one cold ``--quick`` report
+  regeneration, gated by a deliberately generous absolute ceiling so only
+  an algorithmic cliff (not runner load) can trip it.
+
 Run:  python benchmarks/perf_smoke.py [--out BENCH_PR3.json]
                                       [--pr4-out BENCH_PR4.json]
                                       [--pr8-out BENCH_PR8.json]
+                                      [--pr9-out BENCH_PR9.json]
       python benchmarks/perf_smoke.py --check-floors BENCH_PR4.json
       python benchmarks/perf_smoke.py --check-floors BENCH_PR8.json
+      python benchmarks/perf_smoke.py --check-floors BENCH_PR9.json
 """
 
 from __future__ import annotations
@@ -64,6 +79,13 @@ SWEEP_CACHED_SPEEDUP_FLOOR = 3.0
 # Absolute floor for the PR8 demand-generator gate: measured ~2-7M req/s;
 # the floor is >10x below that so it only catches algorithmic regressions.
 DEMAND_THROUGHPUT_FLOOR = 200_000.0
+
+# PR9 gates: batched drain loop vs. heap referee (measured ~4.5x), numpy
+# round compilation vs. the scalar referee (measured >10x at coarse grain),
+# and a generous absolute ceiling on one cold --quick report regeneration.
+KERNEL_BATCHED_SPEEDUP_FLOOR = 3.0
+ROUNDS_VECTOR_SPEEDUP_FLOOR = 4.0
+REPORT_QUICK_WALL_CEILING = 600.0
 
 
 def run_once(protocol: str, obs: ObsParams | None = None, fast_path: bool | None = None):
@@ -292,15 +314,215 @@ def run_pr8(out_path: str) -> dict:
     return doc
 
 
+# --------------------------------------------------------------- PR9 section
+
+
+def kernel_drain_bench(calendar: str, n_events: int = 100_000, ballast: int = 8192) -> dict:
+    """Drain-loop events/sec for one calendar discipline.
+
+    The calendar is prefilled with ``n_events`` same-instant zero-delay
+    timeouts over ``ballast`` far-future guards, then ``run(until=0)`` is
+    timed.  Creation happens before the clock starts, so this measures
+    exactly the dispatch loop the batched kernel rewrote; the heap
+    discipline pays an O(log ballast) pop per event where the lane pays a
+    ``popleft``."""
+    from repro.sim.core import Simulator
+
+    best = None
+    for _ in range(REPEATS):
+        sim = Simulator(calendar=calendar)
+        for i in range(ballast):
+            sim.timeout(10**9 + i)
+        for _ in range(n_events):
+            sim.timeout(0)
+        t0 = time.perf_counter()
+        sim.run(until=0)
+        wall = time.perf_counter() - t0
+        assert sim.events_processed == n_events
+        if best is None or wall < best:
+            best = wall
+    return {
+        "calendar": calendar,
+        "events": n_events,
+        "ballast": ballast,
+        "wall_seconds": best,
+        "events_per_sec": n_events / best if best > 0 else 0.0,
+    }
+
+
+def rounds_bench(grain: int = 200, tasks: int = 400) -> dict:
+    """Round-compilation references/sec: numpy round compiler vs. the
+    scalar referee, both fed the *same* pre-drawn inputs.  The RNG draws
+    are deliberately outside the timed region — both paths must consume
+    bit-identical draw streams (REPORT byte-identity), so draw cost is a
+    shared constant; the gate measures the per-round state-update
+    computation that PR9 actually vectorized.  Grain 200 is the paper's
+    coarse setting, where the Fig 4-7 sweeps spend their time."""
+    import numpy as np
+
+    from repro.workloads.rounds import (
+        RoundScratch,
+        _compile_sync_round,
+        _compile_sync_round_scalar,
+        build_sync_task_plan,
+        build_sync_task_plan_scalar,
+    )
+    from repro.workloads.syncmodel import SyncModelParams
+
+    params = SyncModelParams(grain_size=grain)
+    shared = np.arange(100, 100 + params.n_shared_blocks, dtype=np.int64)
+    wpb = 8
+    scratch = RoundScratch(params, shared, wpb)
+
+    rng = np.random.default_rng(7)
+    drawn = [
+        (
+            rng.random((grain, 3)),
+            rng.integers(0, params.n_shared_blocks, size=grain),
+            rng.integers(0, wpb, size=grain),
+        )
+        for _ in range(tasks)
+    ]
+
+    def timed(compile_one) -> float:
+        best = None
+        for _ in range(REPEATS):
+            last = fresh = 10_000
+            t0 = time.perf_counter()
+            for d, b, o in drawn:
+                plan, last, fresh = compile_one(d, b, o, last, fresh)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        return best
+
+    # Referee sanity: identical plans from identical draws, every task.
+    rng_v = np.random.default_rng(3)
+    rng_s = np.random.default_rng(3)
+    lv = fv = ls = fs = 10_000
+    for _ in range(5):
+        pv, lv, fv = build_sync_task_plan(params, shared, wpb, rng_v, lv, fv, scratch)
+        ps, ls, fs = build_sync_task_plan_scalar(params, shared, wpb, rng_s, ls, fs)
+        assert pv == ps and (lv, fv) == (ls, fs), "plan builders diverged"
+
+    scalar_wall = timed(
+        lambda d, b, o, last, fresh: _compile_sync_round_scalar(
+            params, shared, wpb, d, b, o, last, fresh
+        )
+    )
+    vector_wall = timed(
+        lambda d, b, o, last, fresh: _compile_sync_round(wpb, d, b, o, last, fresh, scratch)
+    )
+    refs = grain * tasks
+    return {
+        "grain": grain,
+        "tasks": tasks,
+        "refs": refs,
+        "scalar_wall_seconds": scalar_wall,
+        "vector_wall_seconds": vector_wall,
+        "scalar_refs_per_sec": refs / scalar_wall if scalar_wall > 0 else 0.0,
+        "vector_refs_per_sec": refs / vector_wall if vector_wall > 0 else 0.0,
+        "speedup": scalar_wall / vector_wall if vector_wall > 0 else 0.0,
+    }
+
+
+def report_quick_bench() -> dict:
+    """One cold ``--quick`` report regeneration, wall-clock."""
+    import io
+
+    from repro.experiments import run_report
+    from repro.sweep import default_jobs
+
+    t0 = time.perf_counter()
+    run_report(io.StringIO(), quick=True, jobs=default_jobs(), use_cache=False)
+    wall = time.perf_counter() - t0
+    return {"quick": True, "jobs": default_jobs(), "wall_seconds": wall}
+
+
+def run_pr9(out_path: str) -> dict:
+    """Measure the PR9 per-layer set and write ``BENCH_PR9.json``."""
+    drain = {c: kernel_drain_bench(c) for c in ("heap", "fast", "slotted")}
+    batched_speedup = (
+        drain["fast"]["events_per_sec"] / drain["heap"]["events_per_sec"]
+        if drain["heap"]["events_per_sec"] > 0 else 0.0
+    )
+    rounds = rounds_bench()
+    report = report_quick_bench()
+    doc = {
+        "kernel_batched": {
+            "drain": drain,
+            "speedup": batched_speedup,
+        },
+        "vectorized_rounds": rounds,
+        "report_quick": report,
+        "floors": {
+            "kernel_batched_speedup_min": KERNEL_BATCHED_SPEEDUP_FLOOR,
+            "rounds_vector_speedup_min": ROUNDS_VECTOR_SPEEDUP_FLOOR,
+            "report_quick_wall_max": REPORT_QUICK_WALL_CEILING,
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(
+        f"kernel drain: fast {drain['fast']['events_per_sec']:,.0f} ev/s, "
+        f"slotted {drain['slotted']['events_per_sec']:,.0f} ev/s, heap "
+        f"{drain['heap']['events_per_sec']:,.0f} ev/s -> batched "
+        f"{batched_speedup:.2f}x (floor {KERNEL_BATCHED_SPEEDUP_FLOOR}x)"
+    )
+    print(
+        f"vectorized rounds: {rounds['vector_refs_per_sec']:,.0f} refs/s vs "
+        f"{rounds['scalar_refs_per_sec']:,.0f} scalar = "
+        f"{rounds['speedup']:.2f}x (floor {ROUNDS_VECTOR_SPEEDUP_FLOOR}x)"
+    )
+    print(
+        f"quick report: {report['wall_seconds']:.1f}s "
+        f"(ceiling {REPORT_QUICK_WALL_CEILING:.0f}s)"
+    )
+    print(f"wrote {out_path}")
+    return doc
+
+
 def check_floors(path: str) -> int:
     """CI gate: re-read a benchmark file and fail on a regressed floor.
 
-    Dispatches on the document's keys, so the one flag validates both
-    ``BENCH_PR4.json`` (ratio floors) and ``BENCH_PR8.json`` (absolute
-    demand-generator throughput)."""
+    Dispatches on the document's keys, so the one flag validates
+    ``BENCH_PR4.json`` (ratio floors), ``BENCH_PR8.json`` (absolute
+    demand-generator throughput), and ``BENCH_PR9.json`` (batched-kernel
+    and vectorized-rounds ratios plus the quick-report ceiling)."""
     with open(path) as fh:
         doc = json.load(fh)
     floors = doc["floors"]
+    if "kernel_batched" in doc:
+        failures = []
+        k = doc["kernel_batched"]["speedup"]
+        if k < floors["kernel_batched_speedup_min"]:
+            failures.append(
+                f"batched kernel drain speedup {k:.2f}x below floor "
+                f"{floors['kernel_batched_speedup_min']}x"
+            )
+        r = doc["vectorized_rounds"]["speedup"]
+        if r < floors["rounds_vector_speedup_min"]:
+            failures.append(
+                f"vectorized rounds speedup {r:.2f}x below floor "
+                f"{floors['rounds_vector_speedup_min']}x"
+            )
+        w = doc["report_quick"]["wall_seconds"]
+        if w > floors["report_quick_wall_max"]:
+            failures.append(
+                f"quick report took {w:.1f}s, over the "
+                f"{floors['report_quick_wall_max']:.0f}s ceiling"
+            )
+        if failures:
+            for f in failures:
+                print(f"FLOOR VIOLATION: {f}", file=sys.stderr)
+            return 1
+        print(
+            f"floors ok: batched kernel {k:.2f}x >= "
+            f"{floors['kernel_batched_speedup_min']}x, vectorized rounds "
+            f"{r:.2f}x >= {floors['rounds_vector_speedup_min']}x, quick "
+            f"report {w:.1f}s <= {floors['report_quick_wall_max']:.0f}s"
+        )
+        return 0
     if "demand_generator" in doc:
         rps = doc["demand_generator"]["requests_per_sec"]
         if rps < floors["demand_requests_per_sec_min"]:
@@ -351,8 +573,12 @@ def main(argv=None) -> int:
         help="demand-generator benchmark output path ('' to skip)",
     )
     ap.add_argument(
+        "--pr9-out", default="BENCH_PR9.json",
+        help="per-layer microbenchmark output path ('' to skip)",
+    )
+    ap.add_argument(
         "--check-floors", metavar="BENCH.json", default=None,
-        help="validate an existing benchmark file (PR4 or PR8) against its floors and exit",
+        help="validate an existing benchmark file (PR4/PR8/PR9) against its floors and exit",
     )
     args = ap.parse_args(argv)
 
@@ -384,6 +610,8 @@ def main(argv=None) -> int:
         run_pr4(args.pr4_out)
     if args.pr8_out:
         run_pr8(args.pr8_out)
+    if args.pr9_out:
+        run_pr9(args.pr9_out)
     return 0
 
 

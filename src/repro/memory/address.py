@@ -41,10 +41,15 @@ class AddressMap:
         return word_addr % self.words_per_block
 
     def word_addr(self, block: int, offset: int = 0) -> int:
-        """First (or ``offset``-th) word address of ``block``."""
+        """First (or ``offset``-th) word address of ``block``.
+
+        Coerced to a plain ``int``: callers pass numpy integers (RNG-drawn
+        blocks and offsets), and a leaked ``np.int64`` address poisons
+        every downstream trace arg against ``json.dumps``.
+        """
         if not 0 <= offset < self.words_per_block:
             raise ValueError(f"offset {offset} out of block")
-        return block * self.words_per_block + offset
+        return int(block * self.words_per_block + offset)
 
     def home_of(self, block: int) -> int:
         """The node hosting ``block``'s memory module and directory entry."""

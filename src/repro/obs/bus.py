@@ -110,6 +110,16 @@ class TraceBus:
     def enabled_for(self, cat: str) -> bool:
         return self._cats is None or cat in self._cats
 
+    def set_categories(self, cats) -> None:
+        """Re-gate categories mid-run (``None`` = all).
+
+        The kernel caches its own ``enabled_for("kernel")`` answer so the
+        hot loop never re-asks per event; changing the gate here has to
+        invalidate that cache or the kernel keeps the stale answer.
+        """
+        self._cats = set(cats) if cats is not None else None
+        self.sim.refresh_trace_flags()
+
     # -- emitters -----------------------------------------------------------
     def _emit(self, ev: TraceEvent) -> None:
         self.tail.append(ev)

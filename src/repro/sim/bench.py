@@ -1,0 +1,135 @@
+"""Kernel calendar microbenchmark: ``python -m repro.sim.bench``.
+
+Measures raw calendar throughput (events/sec through ``run()``) for each
+scheduling discipline on three synthetic calendar shapes:
+
+``uniform``
+    N timeouts at distinct, evenly spaced future times — the heap's best
+    case and the slotted calendar's bread and butter.
+``burst``
+    N timeouts in same-instant groups (one burst per clock value) — the
+    shape the batched inner drain targets; dominated by zero-gap pops.
+``cancel``
+    2N timeouts with every other one canceled before the run — stresses
+    lazy-cancellation skipping and the compaction heuristic.
+
+One command reproduces a kernel perf regression::
+
+    PYTHONPATH=src python -m repro.sim.bench --events 50000 --json -
+
+The numbers here are *relative* (discipline vs. discipline on the same
+machine); the CI floor gating lives in ``benchmarks/perf_smoke.py``, which
+reuses these scenario builders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time  # lint-ok: wall-clock
+from typing import Callable, Dict
+
+from .core import CALENDARS, Simulator
+
+__all__ = ["SCENARIOS", "bench_one", "run_bench"]
+
+
+def _fill_uniform(sim: Simulator, n: int) -> None:
+    timeout = sim.timeout
+    for i in range(n):
+        timeout(0.7 * i + 0.7)
+
+
+def _fill_burst(sim: Simulator, n: int, burst: int = 64) -> None:
+    timeout = sim.timeout
+    for i in range(n):
+        timeout(10.0 * (i // burst) + 10.0)
+
+
+def _fill_cancel(sim: Simulator, n: int) -> None:
+    timeout = sim.timeout
+    victims = []
+    for i in range(n):
+        timeout(0.7 * i + 0.7)
+        victims.append(timeout(0.7 * i + 0.9))
+    for v in victims:
+        v.cancel()
+
+
+SCENARIOS: Dict[str, Callable[[Simulator, int], None]] = {
+    "uniform": _fill_uniform,
+    "burst": _fill_burst,
+    "cancel": _fill_cancel,
+}
+
+
+def bench_one(calendar: str, scenario: str, n_events: int, repeat: int = 3) -> dict:
+    """Best-of-``repeat`` events/sec for one (discipline, shape) cell."""
+    fill = SCENARIOS[scenario]
+    best = 0.0
+    processed = 0
+    for _ in range(repeat):
+        sim = Simulator(calendar=calendar)
+        fill(sim, n_events)
+        t0 = time.perf_counter()  # lint-ok: wall-clock
+        sim.run()
+        dt = time.perf_counter() - t0  # lint-ok: wall-clock
+        processed = sim.events_processed
+        best = max(best, processed / dt if dt > 0 else float("inf"))
+    return {
+        "calendar": calendar,
+        "scenario": scenario,
+        "events": processed,
+        "events_per_sec": best,
+    }
+
+
+def run_bench(n_events: int, repeat: int) -> list:
+    results = []
+    for scenario in SCENARIOS:
+        for calendar in CALENDARS:
+            results.append(bench_one(calendar, scenario, n_events, repeat))
+    return results
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.sim.bench",
+        description="calendar-discipline microbenchmark (events/sec)",
+    )
+    ap.add_argument("--events", type=int, default=50_000, help="events per run")
+    ap.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    ap.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump results as JSON ('-' for stdout)",
+    )
+    args = ap.parse_args(argv)
+
+    results = run_bench(args.events, args.repeat)
+
+    by_scenario: Dict[str, Dict[str, float]] = {}
+    for r in results:
+        by_scenario.setdefault(r["scenario"], {})[r["calendar"]] = r["events_per_sec"]
+    header = f"{'scenario':<10}" + "".join(f"{c:>14}" for c in CALENDARS) + f"{'fast/heap':>12}"
+    print(header)
+    print("-" * len(header))
+    for scenario, row in by_scenario.items():
+        cells = "".join(f"{row[c]:>14,.0f}" for c in CALENDARS)
+        ratio = row["fast"] / row["heap"] if row["heap"] else float("inf")
+        print(f"{scenario:<10}{cells}{ratio:>11.2f}x")
+
+    if args.json:
+        payload = json.dumps({"events": args.events, "results": results}, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -85,6 +85,7 @@ class Machine:
         protocol: str = "wbi",
         faults: Optional[FaultSpec] = None,
         fast_path: Optional[bool] = None,
+        calendar: Optional[str] = None,
     ):
         if protocol not in self.PROTOCOLS:
             raise ValueError(f"protocol must be one of {self.PROTOCOLS}, got {protocol!r}")
@@ -100,15 +101,15 @@ class Machine:
         self.fault_plan: Optional[FaultPlan] = (
             FaultPlan(faults) if faults is not None and not faults.is_null else None
         )
-        # ``fast_path`` selects the kernel scheduling discipline (see
-        # sim/core.py); both disciplines are cycle-identical, so this only
-        # matters for the differential suite and perf measurements.
-        self.sim = Simulator(fast_path=fast_path)
+        # ``fast_path``/``calendar`` select the kernel scheduling discipline
+        # (see sim/core.py); all disciplines are cycle-identical, so this
+        # only matters for the differential suite and perf measurements.
+        self.sim = Simulator(fast_path=fast_path, calendar=calendar)
         #: Trace bus, or ``None`` when ``cfg.obs`` is unset (the default):
         #: every instrumented component caches this reference, and the
         #: disabled machine pays one ``is not None`` branch per site.
         self.obs: Optional[TraceBus] = TraceBus(self.sim, cfg.obs) if cfg.obs is not None else None
-        self.sim._obs = self.obs
+        self.sim.set_obs(self.obs)
         self.rng = RngStreams(cfg.seed)
         self.amap = AddressMap(cfg.n_nodes, cfg.words_per_block)
         net_params = NetworkParams(

@@ -31,6 +31,7 @@ from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
 from .base import make_lock
 from .demand import ClosedLoopDemand
+from .rounds import RoundScratch, build_sync_task_plan, execute_plan
 from .service import ClosedLoopService
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,6 +76,11 @@ class SyncModelWorkload(ClosedLoopService):
     i *is* node i); the service body is the Table-4 stream in
     :meth:`_driver`.  Scaffold and verified finish come from
     :class:`~repro.workloads.service.ClosedLoopService`.
+
+    ``vectorized`` selects the round implementation: the default compiles
+    each task's reference stream as array ops (:mod:`.rounds`); ``False``
+    keeps the original scalar loop, retained verbatim as the referee for
+    the differential pin.  Both are bit-identical.
     """
 
     name = "syncmodel"
@@ -86,12 +92,15 @@ class SyncModelWorkload(ClosedLoopService):
         params: Optional[SyncModelParams] = None,
         lock_scheme: str = "cbl",
         consistency: str = "sc",
+        vectorized: bool = True,
     ):
         super().__init__(machine, lock_scheme, consistency)
         self.params = params or SyncModelParams()
+        self.vectorized = vectorized
         p = self.params
         first_shared = machine.alloc_block(p.n_shared_blocks)
         self.shared_blocks = list(range(first_shared, first_shared + p.n_shared_blocks))
+        self._shared_arr = np.asarray(self.shared_blocks, dtype=np.int64)
         self.locks = [make_lock(machine, lock_scheme) for _ in range(p.n_locks)]
         n = machine.cfg.n_nodes
         if p.use_barriers:
@@ -124,31 +133,39 @@ class SyncModelWorkload(ClosedLoopService):
         private_base = amap.word_addr(self._private_base + 64 * proc.node_id, 0)
         last_private = private_base
         fresh_private = private_base
+        scratch = RoundScratch(p, self._shared_arr, wpb) if self.vectorized else None
         for task_idx in range(p.tasks_per_node):
             # -- task execution: grain_size data references ---------------
-            draws = rng.random((p.grain_size, 3))
-            shared_blocks = rng.integers(0, p.n_shared_blocks, size=p.grain_size)
-            offsets = rng.integers(0, wpb, size=p.grain_size)
-            for i in range(p.grain_size):
-                is_shared = draws[i, 0] < p.shared_ratio
-                is_read = draws[i, 1] < p.read_ratio
-                if is_shared:
-                    addr = amap.word_addr(self.shared_blocks[shared_blocks[i]], offsets[i])
-                    if is_read:
-                        yield from proc.shared_read(addr)
+            if self.vectorized:
+                plan, last_private, fresh_private = build_sync_task_plan(
+                    p, self._shared_arr, wpb, rng, last_private, fresh_private, scratch
+                )
+                yield from execute_plan(proc, plan)
+            else:
+                # Scalar referee: the original round, retained verbatim.
+                draws = rng.random((p.grain_size, 3))
+                shared_blocks = rng.integers(0, p.n_shared_blocks, size=p.grain_size)
+                offsets = rng.integers(0, wpb, size=p.grain_size)
+                for i in range(p.grain_size):
+                    is_shared = draws[i, 0] < p.shared_ratio
+                    is_read = draws[i, 1] < p.read_ratio
+                    if is_shared:
+                        addr = amap.word_addr(self.shared_blocks[shared_blocks[i]], offsets[i])
+                        if is_read:
+                            yield from proc.shared_read(addr)
+                        else:
+                            yield from proc.shared_write(addr, proc.node_id)
                     else:
-                        yield from proc.shared_write(addr, proc.node_id)
-                else:
-                    if draws[i, 2] < p.hit_ratio:
-                        addr = last_private  # guaranteed cached
-                    else:
-                        fresh_private += wpb  # new block: a compulsory miss
-                        addr = fresh_private
-                        last_private = addr
-                    if is_read:
-                        yield from proc.read(addr)
-                    else:
-                        yield from proc.write(addr, 1)
+                        if draws[i, 2] < p.hit_ratio:
+                            addr = last_private  # guaranteed cached
+                        else:
+                            fresh_private += wpb  # new block: a compulsory miss
+                            addr = fresh_private
+                            last_private = addr
+                        if is_read:
+                            yield from proc.read(addr)
+                        else:
+                            yield from proc.write(addr, 1)
             # -- synchronization episode -----------------------------------
             if self._is_barrier[task_idx]:
                 yield from proc.barrier(self.barrier)

@@ -29,6 +29,7 @@ from ..sync.base import HWBarrier
 from ..sync.swlock import SWBarrier
 from .base import make_lock
 from .demand import ClosedLoopDemand
+from .rounds import build_queue_task_plan, execute_plan
 from .service import ClosedLoopService
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -137,6 +138,12 @@ class WorkQueueWorkload(ClosedLoopService):
     takes the task); the service body is the Table-4 reference stream in
     :meth:`_task_refs`.  The run scaffold and the verified finish path
     come from :class:`~repro.workloads.service.ClosedLoopService`.
+
+    ``vectorized`` selects the task-execution implementation: the default
+    compiles each task's reference stream to a :class:`~.rounds.TaskPlan`
+    (same scalar draw order — the stream is data-dependent — but one lean
+    dispatch loop); ``False`` keeps the original generator nest, retained
+    as the referee for the differential pin.  Both are bit-identical.
     """
 
     name = "workqueue"
@@ -148,9 +155,11 @@ class WorkQueueWorkload(ClosedLoopService):
         params: Optional[WorkQueueParams] = None,
         lock_scheme: str = "cbl",
         consistency: str = "sc",
+        vectorized: bool = True,
     ):
         super().__init__(machine, lock_scheme, consistency)
         self.params = params or WorkQueueParams()
+        self.vectorized = vectorized
         p = self.params
         self.queue_lock = make_lock(machine, lock_scheme)
         # Queue bookkeeping words (head/tail/count) live on shared blocks.
@@ -252,7 +261,17 @@ class WorkQueueWorkload(ClosedLoopService):
             if tid is None:
                 continue  # lost the race; back to polling
             # ---- execute the task ------------------------------------------
-            yield from self._task_refs(proc, tid, state)
+            if self.vectorized:
+                plan = build_queue_task_plan(
+                    p,
+                    self.shared_blocks,
+                    self.machine.cfg.words_per_block,
+                    self.machine.rng.stream(f"task{tid}"),
+                    state,
+                )
+                yield from execute_plan(proc, plan)
+            else:
+                yield from self._task_refs(proc, tid, state)
             # ---- possibly spawn a successor --------------------------------
             wants_spawn = rng.random() < p.spawn_prob
             # ---- mark complete (queue update under the lock) ----------------

@@ -354,7 +354,7 @@ def test_max_events_bounds_work():
     for _ in range(10):
         sim.timeout(1)
     sim.run(max_events=3)
-    assert len(sim._heap) == 7
+    assert sim.pending_live() == 7
 
 
 def test_nested_process_chain_time_accumulates():
