@@ -14,15 +14,38 @@ Public surface:
   litmus oracle's closed form vs operationally observed outcomes);
 * :func:`axiom_consume_allowed` — the fuzzer's consume oracle derived
   from the event graph (``--oracle axiom``);
+* :func:`reduced_outcomes_for_graph` / :func:`fuzz_allowed_outcomes` —
+  the partial-order-reduced engine and its whole-program round
+  decomposition (``--oracle axiom-scale``; the exhaustive enumerator
+  stays as the differential referee);
+* :func:`check_trace` / :func:`conformance_report` — single-execution
+  conformance: an observed TraceBus run checked against the axioms in
+  polynomial time (``python -m repro.axiom --conform TRACE``);
 * ``python -m repro.axiom`` — the CLI gate with JSON verdicts.
 """
 
 from .check import allowed_outcomes, count_executions
+from .conformance import (
+    ConformanceReport,
+    ConformanceViolation,
+    MemTrace,
+    check_trace,
+    conformance_report,
+)
 from .differential import GateReport, GateRow, run_gate
 from .enumerate import Execution, allowed_outcomes_for_graph, enumerate_executions
 from .events import Event, EventGraph, litmus_event_graph
 from .fuzzoracle import axiom_consume_allowed
 from .model import AxModel, ax_model_for
+from .scale import (
+    AxiomBudgetExceeded,
+    estimate_candidate_space,
+    fuzz_allowed_outcomes,
+    fuzz_consume_allowed,
+    fuzz_program_event_graph,
+    fuzz_round_event_graph,
+    reduced_outcomes_for_graph,
+)
 
 __all__ = [
     "AxModel",
@@ -39,4 +62,16 @@ __all__ = [
     "GateReport",
     "run_gate",
     "axiom_consume_allowed",
+    "AxiomBudgetExceeded",
+    "reduced_outcomes_for_graph",
+    "estimate_candidate_space",
+    "fuzz_allowed_outcomes",
+    "fuzz_consume_allowed",
+    "fuzz_program_event_graph",
+    "fuzz_round_event_graph",
+    "ConformanceReport",
+    "ConformanceViolation",
+    "MemTrace",
+    "check_trace",
+    "conformance_report",
 ]

@@ -2,9 +2,16 @@
 
 :func:`allowed_outcomes` is the checker's public entry point: the set of
 outcomes the axioms admit for a litmus test under one consistency model
-and protocol.  Results are cached per (test, model name, protocol) —
-enumeration is exact and deterministic, so the cache is safe for the
-whole process lifetime (litmus tests are frozen dataclasses).
+and protocol.  Results are cached per (test, model name, protocol,
+engine) — enumeration is exact and deterministic, so the cache is safe
+for the whole process lifetime (litmus tests are frozen dataclasses).
+
+Two engines answer the same query: ``"reduced"`` (the default) runs the
+partial-order-reduced search of :mod:`repro.axiom.scale` with the DRF
+short-circuit; ``"exhaustive"`` runs the original enumerator verbatim.
+``tests/axiom/test_scale.py`` holds them bit-identical over the whole
+corpus — the exhaustive engine is the referee, the reduced engine is
+what everything else calls.
 """
 
 from __future__ import annotations
@@ -13,9 +20,11 @@ from functools import lru_cache
 from typing import TYPE_CHECKING, Union
 
 from ..consistency.models import ConsistencyModel
+from ..static.drf import classification_for
 from .enumerate import allowed_outcomes_for_graph, enumerate_executions
 from .events import litmus_event_graph
 from .model import ax_model_for
+from .scale import reduced_outcomes_for_graph
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..verify.litmus import LitmusTest
@@ -23,26 +32,35 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["allowed_outcomes", "count_executions"]
 
 
+def _outcomes_for(test: "LitmusTest", ax, engine: str) -> frozenset:
+    g = litmus_event_graph(test)
+    if engine == "exhaustive":
+        return allowed_outcomes_for_graph(g, ax, finals=test.finals)
+    if engine == "reduced":
+        return reduced_outcomes_for_graph(
+            g, ax, finals=test.finals,
+            classification=classification_for(test),
+        )
+    raise ValueError(f"unknown engine {engine!r}")
+
+
 @lru_cache(maxsize=None)
-def _cached_outcomes(test: "LitmusTest", model_name: str, protocol: str) -> frozenset:
-    ax = ax_model_for(model_name, protocol)
-    return allowed_outcomes_for_graph(
-        litmus_event_graph(test), ax, finals=test.finals
-    )
+def _cached_outcomes(
+    test: "LitmusTest", model_name: str, protocol: str, engine: str
+) -> frozenset:
+    return _outcomes_for(test, ax_model_for(model_name, protocol), engine)
 
 
 def allowed_outcomes(
     test: "LitmusTest",
     model: Union[str, ConsistencyModel],
     protocol: str = "primitives",
+    engine: str = "reduced",
 ) -> frozenset:
     """Outcomes the axioms admit for ``test`` under ``model`` × ``protocol``."""
     if isinstance(model, str):
-        return _cached_outcomes(test, model, protocol)
-    ax = ax_model_for(model, protocol)
-    return allowed_outcomes_for_graph(
-        litmus_event_graph(test), ax, finals=test.finals
-    )
+        return _cached_outcomes(test, model, protocol, engine)
+    return _outcomes_for(test, ax_model_for(model, protocol), engine)
 
 
 def count_executions(

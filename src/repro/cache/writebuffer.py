@@ -111,6 +111,13 @@ class WriteBuffer:
         self.stats.counters.add("writes")
         self.occupancy.set(self.sim.now, self.pending_count)
         if self.obs is not None:
+            # The write's *issue* point in its thread: paired with the
+            # home's mem.perform (same owner + entry) by the conformance
+            # checker to bound buffer residency against draining fences.
+            self.obs.instant(
+                "mem.issue", "mem", self.owner,
+                args={"word": word_addr, "value": value, "entry": entry_id},
+            )
             self.obs.counter(
                 "wb.occupancy", "wb", self.owner, {"pending": self.pending_count}
             )

@@ -430,6 +430,14 @@ class PrimitivesHomeController(Controller):
     def _h_read_global(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         value = self.node.memory.read_word(msg.info["word"])
+        if self.obs is not None:
+            # The home's serialization point: this read observes the word
+            # *here*, between two entries of its coherence order.  The
+            # conformance checker replays these instants as rf edges.
+            self.obs.instant(
+                "mem.read", "mem", self.node.node_id,
+                args={"word": msg.info["word"], "value": value, "src": msg.src},
+            )
         self.reply_to(
             msg,
             MessageType.READ_GLOBAL_REPLY,
@@ -443,6 +451,18 @@ class PrimitivesHomeController(Controller):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         word = msg.info["word"]
         self.node.memory.write_word(word, msg.info["value"])
+        if self.obs is not None:
+            # One instant per *performed* write: dedup-replay absorbed
+            # duplicates before this handler ran, so retried/reissued
+            # writes already collapse to a single logical event — the
+            # per-word instant stream IS the word's coherence order.
+            self.obs.instant(
+                "mem.perform", "mem", self.node.node_id,
+                args={
+                    "word": word, "value": msg.info["value"],
+                    "src": msg.src, "entry": msg.info["entry_id"],
+                },
+            )
         subscribers = [s for s in entry.ru_subscribers if s != msg.src]
         ack_now = not self.cfg.strict_global_ack or not subscribers
         if ack_now:
@@ -507,6 +527,22 @@ class PrimitivesHomeController(Controller):
     def _h_writeback(self, msg: Message, entry):
         yield self.sim.timeout(self.cfg.dir_cycle + self.cfg.memory_cycle)
         self.node.memory.write_dirty_words(entry.block, msg.info["words"], msg.info["mask"])
+        if self.obs is not None:
+            # Plain cached writes reach memory here, outside the global-
+            # write order; the conformance checker excuses their words
+            # from the value checks rather than guessing an order.
+            self.obs.instant(
+                "mem.wb", "mem", self.node.node_id,
+                args={
+                    "block": entry.block,
+                    "words": [
+                        self.amap.word_addr(entry.block, i)
+                        for i, dirty in enumerate(msg.info["mask"])
+                        if dirty
+                    ],
+                    "src": msg.src,
+                },
+            )
         self.reply_to(msg, MessageType.WRITEBACK_ACK, addr=entry.block)
         self._done(entry)
 
@@ -558,6 +594,12 @@ class PrimitivesHomeController(Controller):
         word = msg.info["word"]
         mem = self.node.memory
         old = mem.read_word(word)
-        mem.write_word(word, apply_rmw(msg.info["op"], old, msg.info["operand"]))
+        new = apply_rmw(msg.info["op"], old, msg.info["operand"])
+        mem.write_word(word, new)
+        if self.obs is not None:
+            self.obs.instant(
+                "mem.rmw", "mem", self.node.node_id,
+                args={"word": word, "old": old, "new": new, "src": msg.src},
+            )
         self.reply_to(msg, MessageType.RMW_REPLY, addr=entry.block, word=word, old=old)
         self._done(entry)

@@ -142,7 +142,12 @@ class Processor:
         self.stats.counters.add("sync_cycles", int(dt))
         if self.obs is not None:
             # Lock-queue residency: request issued -> grant received.
-            self.obs.span(f"acquire:{type(lock).__name__}", "sync", self.node_id, t0)
+            # ``obj`` names the lock's block so a trace consumer (the
+            # conformance checker) can pair acquires with releases.
+            self.obs.span(
+                f"acquire:{type(lock).__name__}", "sync", self.node_id, t0,
+                args={"obj": lock.block, "mode": mode},
+            )
 
     def release(self, lock):
         """Release a lock under the consistency model (CP-Synch)."""
@@ -152,7 +157,10 @@ class Processor:
         yield from lock.release(self, want_ack=self.model.release_wants_ack)
         self.stats.counters.add("sync_cycles", int(self.sim.now - t0))
         if self.obs is not None:
-            self.obs.span(f"release:{type(lock).__name__}", "sync", self.node_id, t0)
+            self.obs.span(
+                f"release:{type(lock).__name__}", "sync", self.node_id, t0,
+                args={"obj": lock.block},
+            )
 
     def barrier(self, bar):
         """Barrier synchronization (CP-Synch)."""
@@ -164,4 +172,7 @@ class Processor:
         self.stats.observe("barrier_latency", dt)
         self.stats.counters.add("sync_cycles", int(dt))
         if self.obs is not None:
-            self.obs.span(f"barrier:{type(bar).__name__}", "sync", self.node_id, t0)
+            self.obs.span(
+                f"barrier:{type(bar).__name__}", "sync", self.node_id, t0,
+                args={"obj": bar.block},
+            )

@@ -41,8 +41,9 @@ class ObsParams:
         :class:`~repro.faults.diagnosis.HangDiagnosis`.
     ``categories``
         Restrict tracing to these categories (``"kernel"``, ``"net"``,
-        ``"coh"``, ``"sync"``, ``"wb"``, ``"phase"``, ``"resilience"``);
-        ``None`` traces everything.
+        ``"coh"``, ``"sync"``, ``"wb"``, ``"phase"``, ``"resilience"``,
+        ``"mem"`` — the home-serialization instants the conformance
+        checker consumes); ``None`` traces everything.
     """
 
     max_events: int = 1_000_000

@@ -36,6 +36,7 @@ _CAT_PID = {
     "sync": 3,
     "wb": 4,
     "resilience": 5,
+    "mem": 6,
 }
 
 

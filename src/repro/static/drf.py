@@ -76,6 +76,7 @@ __all__ = [
     "ProgramIR",
     "RaceReport",
     "Classification",
+    "ConflictGraph",
     "LabelMismatch",
     "lower_litmus",
     "lower_fuzz_program",
@@ -84,6 +85,7 @@ __all__ = [
     "classification_for",
     "check_labels",
     "analyze_program",
+    "conflict_graph",
     "derive_consume_allowed",
     "main",
 ]
@@ -489,6 +491,76 @@ def check_labels(test: "LitmusTest") -> Classification:
             f"analyzer derives {cls.synchronized} ({detail})"
         )
     return cls
+
+
+# --------------------------------------------------------------------------
+# Conflict graph export
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ConflictGraph:
+    """The per-address conflict structure of a lowered program.
+
+    Consumed by the partial-order-reduction layer in
+    :mod:`repro.axiom.scale`: two accesses are *independent* (their
+    interleavings need not both be explored) unless they conflict —
+    same location, different threads, at least one write.  ``edges``
+    holds conflicting pairs as indices into the source IR's access
+    list; ``vars_of_thread`` and ``writers_of`` give the per-thread /
+    per-location projections the pruner keys on.
+    """
+
+    #: Conflicting access pairs as (i, j) indices into ``ir.accesses``,
+    #: i < j, sorted.
+    edges: Tuple[Tuple[int, int], ...]
+    #: location -> sorted tuple of threads that write it.
+    writers_of: Dict[str, Tuple[int, ...]]
+    #: thread -> sorted tuple of shared locations it touches.
+    vars_of_thread: Dict[int, Tuple[str, ...]]
+
+    @property
+    def conflict_free_vars(self) -> Tuple[str, ...]:
+        """Locations touched by exactly one thread (never in ``edges``)."""
+        in_edges = {v for v, ts in self.writers_of.items() if len(ts) > 1}
+        multi = set()
+        for t, vs in self.vars_of_thread.items():
+            for v in vs:
+                touchers = [u for u, uvs in self.vars_of_thread.items() if v in uvs]
+                if len(touchers) > 1:
+                    multi.add(v)
+        return tuple(sorted(
+            v for vs in self.vars_of_thread.values() for v in vs
+            if v not in multi and v not in in_edges
+        ))
+
+
+def conflict_graph(ir: ProgramIR) -> ConflictGraph:
+    """Build the per-address conflict graph of a lowered program.
+
+    Unlike :func:`classify_ir` this keeps *every* conflicting pair —
+    including pairs ordered by locks or barriers and labeled-vs-labeled
+    pairs — because the reduction layer prunes on potential interference
+    in *some* interleaving, not on raciness.
+    """
+    edges: List[Tuple[int, int]] = []
+    writers: Dict[str, set] = {}
+    vars_of: Dict[int, set] = {}
+    for i, a in enumerate(ir.accesses):
+        vars_of.setdefault(a.thread, set()).add(a.var)
+        if a.is_write:
+            writers.setdefault(a.var, set()).add(a.thread)
+        for j in range(i + 1, len(ir.accesses)):
+            b = ir.accesses[j]
+            if a.thread == b.thread or a.var != b.var:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            edges.append((i, j))
+    return ConflictGraph(
+        edges=tuple(sorted(edges)),
+        writers_of={v: tuple(sorted(ts)) for v, ts in sorted(writers.items())},
+        vars_of_thread={t: tuple(sorted(vs)) for t, vs in sorted(vars_of.items())},
+    )
 
 
 # --------------------------------------------------------------------------

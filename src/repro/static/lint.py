@@ -26,7 +26,18 @@ source for the bug classes that silently break that property:
     when the loop body sends messages or schedules events, iteration
     order becomes part of the simulated behavior.  Iterate ``sorted(...)``
     instead.  (Dict iteration is insertion-ordered in CPython ≥ 3.7 and is
-    not flagged.)
+    not flagged here; ``unsorted-dict-fanout`` covers the dict case.)
+
+``unsorted-dict-fanout``
+    Iteration over a dict view (``.items()`` / ``.keys()`` / ``.values()``)
+    whose body sends messages or emits trace events, without ``sorted(...)``.
+    Dict order is insertion order — deterministic for the *process that
+    built it*, but when the dict was populated by simulated events its
+    insertion order is itself schedule-dependent, and fanning it out into
+    sends or the trace bakes that order into behavior and artifacts.
+    Iterate ``sorted(d)`` / ``sorted(d.items())`` instead, or suppress
+    with a reason when insertion order is provably fixed (e.g. built from
+    a seeded or static sequence).
 
 ``yieldless-process``
     A function handed to ``spawn(...)`` that contains no ``yield`` — it
@@ -299,6 +310,71 @@ def _check_set_iteration(tree: ast.Module, path: str):
 
 
 # --------------------------------------------------------------------------
+# unsorted-dict-fanout
+# --------------------------------------------------------------------------
+
+_DICT_VIEW_METHODS = frozenset({"items", "keys", "values"})
+
+
+def _is_obs_receiver(recv: ast.AST) -> bool:
+    return (isinstance(recv, ast.Name) and recv.id == "obs") or (
+        isinstance(recv, ast.Attribute) and recv.attr == "obs"
+    )
+
+
+def _fanout_call(nodes: Sequence[ast.AST]) -> Optional[str]:
+    """The first message-send or trace-emission call under ``nodes``."""
+    for root in nodes:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Attribute):
+                if fn.attr in _TRACE_EMITTERS and _is_obs_receiver(fn.value):
+                    return f"trace emission .{fn.attr}(...)"
+                if fn.attr in ("send", "reply_to"):
+                    return f"message send .{fn.attr}(...)"
+            elif isinstance(fn, ast.Name) and fn.id == "send":
+                return "message send send(...)"
+    return None
+
+
+def _check_unsorted_dict_fanout(tree: ast.Module, path: str):
+    out = []
+
+    def view_reason(expr: ast.AST) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _DICT_VIEW_METHODS
+            and not expr.args
+            and not expr.keywords
+        ):
+            return f".{expr.func.attr}()"
+        return None
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            pairs = [(node.iter, list(node.body))]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            pairs = [(gen.iter, [node]) for gen in node.generators]
+        else:
+            continue
+        for it, body in pairs:
+            view = view_reason(it)
+            if view is None:
+                continue
+            fanout = _fanout_call(body)
+            if fanout is None:
+                continue
+            out.append((it, f"iterating a dict {view} view into {fanout}: the "
+                        "dict's insertion order is schedule-dependent when "
+                        "simulated events populated it, so the fan-out order "
+                        "becomes part of the run; iterate sorted(...) instead"))
+    return out
+
+
+# --------------------------------------------------------------------------
 # yieldless-process
 # --------------------------------------------------------------------------
 
@@ -403,6 +479,9 @@ RULES: Tuple[Rule, ...] = (
     Rule("set-iteration",
          "iteration over sets feeding event order or message dispatch",
          _check_set_iteration),
+    Rule("unsorted-dict-fanout",
+         "dict-view iteration fanning out into sends or trace emission",
+         _check_unsorted_dict_fanout),
     Rule("yieldless-process",
          "spawn() of a function that never yields",
          _check_yieldless_process),

@@ -285,12 +285,17 @@ def run_program(
     the DRF analyzer's derived partition, ``"axiom"`` recomputes the same
     sets from the axiomatic checker's event-graph closure
     (:func:`repro.axiom.axiom_consume_allowed`) — an independent
-    derivation the agreement tests pin against each other.
+    derivation the agreement tests pin against each other — and
+    ``"axiom-scale"`` enumerates them exactly with the partial-order-
+    reduced engine (:func:`repro.axiom.fuzz_consume_allowed`), fast
+    enough for full-size programs.
     """
-    if oracle not in ("drf", "axiom"):
+    if oracle not in ("drf", "axiom", "axiom-scale"):
         raise ValueError(f"unknown consume oracle {oracle!r}")
     if oracle == "axiom":
         from ..axiom import axiom_consume_allowed as _consume_allowed
+    elif oracle == "axiom-scale":
+        from ..axiom import fuzz_consume_allowed as _consume_allowed
     else:
         _consume_allowed = consume_allowed
     n_nodes = max(4, _next_pow2(program.n_threads + 1))
@@ -877,11 +882,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--oracle",
-        choices=("drf", "axiom"),
+        choices=("drf", "axiom", "axiom-scale"),
         default="drf",
         help="consume-allowed oracle: the DRF analyzer's derived partition "
-        "(drf, default) or the axiomatic checker's event-graph closure "
-        "(axiom) — independent derivations of the same sets",
+        "(drf, default), the axiomatic checker's event-graph closure "
+        "(axiom), or the partial-order-reduced exact enumeration "
+        "(axiom-scale) — independent derivations of the same sets",
     )
     parser.add_argument(
         "--dump-diagnosis",
@@ -982,6 +988,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             trace_path=args.trace,
         )
         print(f"trace of failing run written to {args.trace}")
+        if report.protocol == "primitives":
+            # The failing run is one concrete execution: conformance-check
+            # its home-serialization order against the model axioms, so a
+            # schedule-level failure comes with a memory-model verdict.
+            from ..axiom import conformance_report
+
+            print(conformance_report(args.trace).describe())
     return 1
 
 

@@ -630,6 +630,48 @@ COWW = LitmusTest(
     finals=("x",),
 )
 
+TWO_PLUS_2W = LitmusTest(
+    name="2+2w",
+    description=(
+        "2+2W: two threads write both locations in opposite orders; with "
+        "both first writes buffered past the second ones, each location's "
+        "coherence order can end on the *first* writes — a combination no "
+        "SC interleaving produces."
+    ),
+    threads=(
+        (W("x", 1), W("y", 1)),
+        # Stagger so both buffers hold their first write concurrently.
+        (COMPUTE(8), W("y", 2), W("x", 2)),
+    ),
+    sc_outcomes=frozenset({
+        outcome_map({"x!": 2, "y!": 2}),
+        outcome_map({"x!": 2, "y!": 1}),
+        outcome_map({"x!": 1, "y!": 1}),
+    }),
+    relaxed_outcomes=frozenset({outcome_map({"x!": 1, "y!": 2})}),
+    finals=("x", "y"),
+)
+
+CORW2 = LitmusTest(
+    name="corw2",
+    description=(
+        "CoRW2: a read followed by a same-word write cannot observe the "
+        "other thread's write once its own write wins the coherence race "
+        "— per-location coherence holds even with every write buffered."
+    ),
+    threads=(
+        (R("x", "r0"), W("x", 1)),
+        (COMPUTE(6), W("x", 2)),
+    ),
+    sc_outcomes=frozenset({
+        outcome_map({"r0": 0, "x!": 1}),
+        outcome_map({"r0": 0, "x!": 2}),
+        outcome_map({"r0": 2, "x!": 1}),
+    }),
+    relaxed_outcomes=frozenset({outcome_map({"r0": 2, "x!": 2})}),
+    finals=("x",),
+)
+
 LOCK_INC = LitmusTest(
     name="lock-inc",
     description="Lock-protected increment: no lost updates, final count exact.",
@@ -678,6 +720,8 @@ LITMUS_TESTS: Tuple[LitmusTest, ...] = (
     IRIW,
     CORR,
     COWW,
+    TWO_PLUS_2W,
+    CORW2,
     LOCK_INC,
     RU_STALE,
 )

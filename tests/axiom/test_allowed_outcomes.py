@@ -86,4 +86,7 @@ def test_relaxed_admitting_tests_on_the_corpus():
         for t in LITMUS_TESTS
         if allowed_outcomes(t, "bc") != allowed_outcomes(t, "sc")
     }
-    assert relaxed_admitting == {"mp", "sb", "s", "r", "isa2"}
+    # 2+2w joins the relaxables; corw2 does not — its "relaxed" outcome is
+    # coherence-forbidden (per-location order), which write buffering never
+    # relaxes, so bc admits nothing beyond sc there.
+    assert relaxed_admitting == {"mp", "sb", "s", "r", "isa2", "2+2w"}

@@ -1,0 +1,177 @@
+"""The partial-order-reduced engine: exactness, scale, and projection.
+
+Four pins:
+
+* **corpus referee** — the reduced engine is bit-identical to the
+  exhaustive enumerator on every litmus test × model × protocol row (the
+  exhaustive engine is kept verbatim as the referee);
+* **scale** — a full-size fuzzer program (4 threads × 3 rounds × 3 atoms)
+  enumerates in well under the 10-second budget, on inputs whose
+  exhaustive candidate space is astronomically beyond reach;
+* **decomposition** — the round-by-round composition equals one reduced
+  enumeration of the whole program graph;
+* **projection** — the scale engine's consume sets are contained in both
+  independent oracles (DRF-derived and event-graph closure), so using it
+  as a fuzz oracle can only tighten, never miss, a true failure.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.axiom import (
+    AxiomBudgetExceeded,
+    allowed_outcomes,
+    allowed_outcomes_for_graph,
+    ax_model_for,
+    axiom_consume_allowed,
+    estimate_candidate_space,
+    fuzz_allowed_outcomes,
+    fuzz_consume_allowed,
+    fuzz_program_event_graph,
+    litmus_event_graph,
+    reduced_outcomes_for_graph,
+)
+from repro.axiom.scale import _FUZZ_AX
+from repro.static.drf import derive_consume_allowed
+from repro.verify.fuzz import gen_program
+from repro.verify.litmus import LITMUS_TESTS, MODELS
+
+FULL_SIZE = dict(n_threads=4, n_rounds=3, max_atoms_per_round=3)
+
+
+# -- corpus referee ----------------------------------------------------------
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+def test_reduced_is_bit_identical_to_exhaustive_on_the_corpus(test, model):
+    for proto in test.protocols:
+        reduced = allowed_outcomes(test, model, proto, engine="reduced")
+        exhaustive = allowed_outcomes(test, model, proto, engine="exhaustive")
+        assert reduced == exhaustive, (test.name, model, proto)
+
+
+@pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+def test_reduced_engine_without_drf_shortcircuit_still_agrees(test):
+    """Exactness does not lean on the DRF short-circuit: with no
+    classification supplied, the search layers alone must match."""
+    g = litmus_event_graph(test)
+    for model in MODELS:
+        ax = ax_model_for(model)
+        assert reduced_outcomes_for_graph(g, ax, test.finals) == \
+            allowed_outcomes_for_graph(g, ax, test.finals), (test.name, model)
+
+
+# -- scale -------------------------------------------------------------------
+
+def test_full_size_fuzzer_programs_enumerate_within_budget():
+    rng = np.random.default_rng(0)
+    worst = 0.0
+    for _ in range(5):
+        program = gen_program(rng, **FULL_SIZE)
+        t0 = time.monotonic()
+        outcomes = fuzz_allowed_outcomes(program, budget_seconds=10.0)
+        worst = max(worst, time.monotonic() - t0)
+        assert outcomes  # a well-synchronized program always executes
+    assert worst < 10.0
+
+
+def test_exhaustive_cannot_finish_where_reduced_does():
+    """The referee is genuinely out of its depth at full size: on the
+    pinned program (seed 4 — the naive candidate estimate overstates the
+    referee's *pruned* search, so not every full-size draw defeats it)
+    a subprocess running the exhaustive enumerator is still going when
+    killed, while the reduced engine answers the same graph well inside
+    the ten-second budget."""
+    import subprocess
+    import sys
+
+    rng = np.random.default_rng(4)
+    program = gen_program(rng, **FULL_SIZE)
+    g = fuzz_program_event_graph(program)
+    assert estimate_candidate_space(g) > 1e13
+
+    t0 = time.monotonic()
+    reduced = reduced_outcomes_for_graph(g, _FUZZ_AX)
+    assert time.monotonic() - t0 < 10.0
+    assert reduced
+
+    code = (
+        "import numpy as np\n"
+        "from repro.verify.fuzz import gen_program\n"
+        "from repro.axiom import fuzz_program_event_graph, allowed_outcomes_for_graph\n"
+        "from repro.axiom.scale import _FUZZ_AX\n"
+        "p = gen_program(np.random.default_rng(4), n_threads=4, n_rounds=3,"
+        " max_atoms_per_round=3)\n"
+        "allowed_outcomes_for_graph(fuzz_program_event_graph(p), _FUZZ_AX)\n"
+        "print('finished')\n"
+    )
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, timeout=3
+        )
+        finished = "finished" in proc.stdout
+    except subprocess.TimeoutExpired:
+        finished = False
+    assert not finished, "exhaustive referee unexpectedly finished at full size"
+
+
+def test_budget_exceeded_raises():
+    rng = np.random.default_rng(3)
+    program = gen_program(rng, **FULL_SIZE)
+    with pytest.raises(AxiomBudgetExceeded):
+        fuzz_allowed_outcomes(program, budget_seconds=1e-9)
+
+
+# -- round decomposition -----------------------------------------------------
+
+def test_round_decomposition_matches_whole_graph_enumeration():
+    """ROUND_BARRIER drains every buffer, so rounds are independent given
+    the deterministic carry state; the composed outcome set must equal one
+    reduced enumeration over the whole program graph."""
+    rng = np.random.default_rng(7)
+    for _ in range(12):
+        program = gen_program(rng, n_threads=3, n_rounds=2, max_atoms_per_round=2)
+        whole = reduced_outcomes_for_graph(
+            fuzz_program_event_graph(program), _FUZZ_AX, atomic_inc=True
+        )
+        assert fuzz_allowed_outcomes(program) == whole, program
+
+
+def test_small_fuzz_graphs_reduced_equals_exhaustive():
+    """On graphs small enough for the referee, the engines agree with no
+    atomicity hint (the exhaustive engine has no rmw-atomicity axiom)."""
+    rng = np.random.default_rng(11)
+    checked = 0
+    for _ in range(40):
+        program = gen_program(rng, n_threads=2, n_rounds=1, max_atoms_per_round=2)
+        g = fuzz_program_event_graph(program)
+        if estimate_candidate_space(g) > 50_000:
+            continue  # keep the referee instant
+        assert reduced_outcomes_for_graph(g, _FUZZ_AX) == \
+            allowed_outcomes_for_graph(g, _FUZZ_AX), program
+        checked += 1
+    assert checked >= 10
+
+
+# -- consume projection ------------------------------------------------------
+
+def test_consume_projection_is_contained_in_both_oracles():
+    """allowed ⊇ observable must survive the oracle swap: the scale
+    engine's per-consume sets may only be tighter than the DRF-derived
+    and closure-based sets (both sound over-approximations)."""
+    rng = np.random.default_rng(19)
+    consumes = 0
+    for _ in range(30):
+        program = gen_program(rng, n_threads=3, n_rounds=2, max_atoms_per_round=2)
+        for ri, rnd in enumerate(program.rounds):
+            for t, atoms in enumerate(rnd):
+                for atom in atoms:
+                    if atom.kind != "consume":
+                        continue
+                    scale_set = fuzz_consume_allowed(program, ri, atom.arg)
+                    assert scale_set <= derive_consume_allowed(program, ri, atom.arg)
+                    assert scale_set <= axiom_consume_allowed(program, ri, atom.arg)
+                    consumes += 1
+    assert consumes >= 20

@@ -13,8 +13,8 @@ def test_exact_gate_full_corpus_all_protocols():
     report = run_gate(observe=False)
     bad = report.mismatches()
     assert report.ok, "\n".join(row.describe() for row in bad)
-    # 15 tests × 4 models × their protocols; ru-stale is primitives-only.
-    assert len(report.rows) == 172
+    # 17 tests × 4 models × their protocols; ru-stale is primitives-only.
+    assert len(report.rows) == 196
 
 
 def test_observed_gate_on_the_buffered_machine():

@@ -67,6 +67,7 @@ def test_racy_set_is_exactly_the_unsynchronized_tests():
     racy = {t.name for t in LITMUS_TESTS if not check_labels(t).synchronized}
     assert racy == {
         "mp", "sb", "lb", "s", "r", "wrc", "isa2", "iriw", "corr", "coww",
+        "2+2w", "corw2",
     }
 
 
@@ -77,7 +78,10 @@ def test_relaxable_set_is_the_write_first_cross_location_shapes():
     This resolves iriw's old "conservative in the safe direction" note
     with a computed verdict, cross-checked by the axiomatic gate."""
     relaxable = {t.name for t in LITMUS_TESTS if check_labels(t).relaxable}
-    assert relaxable == {"mp", "sb", "s", "r", "isa2"}
+    # 2+2w is a write-first cross-location shape (buffering can invert the
+    # two write pairs); corw2's race is per-location, so coherence keeps it
+    # SC-only.
+    assert relaxable == {"mp", "sb", "s", "r", "isa2", "2+2w"}
 
 
 # -- generated-program corpus across protocols × buffered models -------------

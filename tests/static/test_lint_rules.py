@@ -18,6 +18,7 @@ def test_rule_catalog_is_stable():
         "unseeded-random",
         "wall-clock",
         "set-iteration",
+        "unsorted-dict-fanout",
         "yieldless-process",
         "ungated-trace",
     ]
@@ -80,6 +81,60 @@ def test_sorted_sets_and_dicts_are_clean():
 def test_set_operator_expression_is_flagged():
     src = "for n in set(a) | set(b):\n    pass\n"
     assert "set-iteration" in rules_hit(src)
+
+
+# -- unsorted-dict-fanout ----------------------------------------------------
+def test_dict_view_into_send_is_flagged():
+    src = """
+    def drain(self, pending):
+        for key, msg in pending.items():
+            self.send(key, msg)
+    """
+    assert rules_hit(src) == {"unsorted-dict-fanout"}
+
+
+def test_dict_view_into_trace_emission_is_flagged():
+    src = """
+    for node in table.keys():
+        obs.instant("evt", "net", node)
+    """
+    # The emission itself is also ungated here; both rules fire.
+    assert "unsorted-dict-fanout" in rules_hit(src)
+
+
+def test_dict_view_comprehension_fanout_is_flagged():
+    src = "acks = [self.reply_to(m) for m in waiting.values()]\n"
+    assert rules_hit(src) == {"unsorted-dict-fanout"}
+
+
+def test_sorted_dict_view_fanout_is_clean():
+    src = """
+    def drain(self, pending):
+        for key, msg in sorted(pending.items()):
+            self.send(key, msg)
+    """
+    assert not findings(src)
+
+
+def test_dict_view_without_fanout_is_clean():
+    src = """
+    def total(self, pending):
+        acc = 0
+        for _k, v in pending.items():
+            acc += v
+        return acc
+    """
+    assert not findings(src)
+
+
+def test_dict_fanout_suppression_works():
+    src = """
+    def drain(self, pending):
+        # insertion order fixed: keys added in node-id order at build time
+        for key, msg in pending.items():  # lint-ok: unsorted-dict-fanout
+            self.send(key, msg)
+    """
+    assert not findings(src)
 
 
 # -- yieldless-process -------------------------------------------------------
